@@ -1,0 +1,95 @@
+// Command hotc-bench regenerates every figure of the HotC paper's
+// evaluation on the simulation substrate and prints the results as
+// text tables, together with notes comparing the measured shapes
+// against the numbers the paper reports.
+//
+// Usage:
+//
+//	hotc-bench            # run everything
+//	hotc-bench -only fig08,fig10
+//	hotc-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hotc/internal/bench"
+)
+
+var experiments = map[string]func() *bench.Report{
+	"fig01":       func() *bench.Report { return bench.Fig01(6) },
+	"fig02":       func() *bench.Report { return bench.Fig02(3000) },
+	"fig04":       bench.Fig04,
+	"fig05":       bench.Fig05,
+	"fig08":       bench.Fig08,
+	"fig09":       func() *bench.Report { return bench.Fig09(40) },
+	"fig10":       bench.Fig10,
+	"fig11":       bench.Fig11,
+	"fig12":       bench.Fig12,
+	"fig13":       bench.Fig13,
+	"fig14":       bench.Fig14,
+	"fig15":       bench.Fig15,
+	"ablations":   bench.Ablations,
+	"shootout":    bench.PolicyShootout,
+	"relatedwork": bench.RelatedWork,
+	"cluster":     bench.ClusterStudy,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "hotc-bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	selected := ids
+	if *only != "" {
+		selected = nil
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := experiments[id]; !ok {
+				fmt.Fprintf(os.Stderr, "hotc-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	for _, id := range selected {
+		rep := experiments[id]()
+		fmt.Println(rep.String())
+		if *csvDir != "" {
+			paths, err := rep.WriteCSV(*csvDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hotc-bench:", err)
+				os.Exit(1)
+			}
+			for _, p := range paths {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", p)
+			}
+		}
+	}
+}

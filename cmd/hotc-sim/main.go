@@ -1,0 +1,238 @@
+// Command hotc-sim runs a single serverless scenario — a request
+// pattern against a function under a runtime-management policy on a
+// hardware profile — and prints per-round latencies and a summary.
+//
+// Examples:
+//
+//	hotc-sim -policy hotc -pattern serial -count 20
+//	hotc-sim -policy cold -pattern burst -rounds 18
+//	hotc-sim -policy keepalive -keepalive 2m -pattern campus -minutes 120
+//	hotc-sim -profile edge-pi -app v3 -pattern serial -count 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"hotc"
+	"hotc/internal/scenario"
+)
+
+func main() {
+	var (
+		policyFlag  = flag.String("policy", "hotc", "policy: hotc|cold|keepalive|warmup|histogram")
+		profileFlag = flag.String("profile", "server", "profile: server|edge-pi")
+		patternFlag = flag.String("pattern", "serial", "pattern: serial|parallel|linear-inc|linear-dec|exp|burst|campus")
+		appFlag     = flag.String("app", "qr", "application: qr|random|v3|tfapi|cassandra")
+		langFlag    = flag.String("lang", "python", "language for qr/random apps: go|python|node|java")
+		network     = flag.String("network", "bridge", "container network mode")
+		count       = flag.Int("count", 20, "requests (serial)")
+		rounds      = flag.Int("rounds", 10, "rounds (parallel/linear/exp/burst)")
+		threads     = flag.Int("threads", 10, "client threads (parallel)")
+		minutes     = flag.Int("minutes", 60, "trace minutes (campus)")
+		interval    = flag.Duration("interval", 30*time.Second, "round interval")
+		keepalive   = flag.Duration("keepalive", 15*time.Minute, "keep-alive window")
+		seed        = flag.Int64("seed", 42, "jitter seed (0 = noiseless)")
+		traceFile   = flag.String("trace", "", "replay this CSV schedule instead of a generated pattern")
+		specFile    = flag.String("spec", "", "run a declarative JSON scenario spec and exit")
+		verbose     = flag.Bool("v", false, "print every request")
+	)
+	flag.Parse()
+
+	if *specFile != "" {
+		runSpec(*specFile)
+		return
+	}
+
+	sim, err := hotc.NewSimulation(hotc.Config{
+		Profile:         hotc.Profile(*profileFlag),
+		Policy:          hotc.Policy(*policyFlag),
+		Seed:            *seed,
+		KeepAliveWindow: *keepalive,
+		LocalImages:     true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer sim.Close()
+
+	app, image, err := pickApp(*appFlag, *langFlag)
+	if err != nil {
+		fatal(err)
+	}
+	// For parallel patterns every thread gets its own configuration
+	// (per the paper's Fig. 12b); otherwise one function serves all.
+	nClasses := 1
+	if *patternFlag == "parallel" {
+		nClasses = *threads
+	}
+	names := make([]string, nClasses)
+	for i := range names {
+		names[i] = fmt.Sprintf("fn-%d", i)
+		rt := hotc.Runtime{Image: image, Network: *network}
+		if nClasses > 1 {
+			rt.Env = []string{fmt.Sprintf("THREAD=%d", i)}
+		}
+		if err := sim.Deploy(hotc.FunctionSpec{Name: names[i], Runtime: rt, App: app}); err != nil {
+			fatal(err)
+		}
+	}
+
+	var w hotc.Workload
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		w, err = hotc.ReadWorkloadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		*patternFlag = "trace:" + *traceFile
+	default:
+		w = buildPattern(*patternFlag, *interval, *count, *rounds, *threads, *minutes, *seed, nClasses)
+	}
+	results, err := sim.Replay(w, func(c int) string { return names[c%len(names)] })
+	if err != nil {
+		fatal(err)
+	}
+
+	if *verbose {
+		for i, r := range results {
+			status := "warm"
+			if !r.Reused {
+				status = "COLD"
+			}
+			if r.Err != nil {
+				status = "ERR " + r.Err.Error()
+			}
+			fmt.Printf("%4d  round=%-3d %-10s latency=%8.2fms init=%7.2fms (%s)\n",
+				i, r.Round, r.Function,
+				float64(r.Latency)/float64(time.Millisecond),
+				float64(r.Initiation)/float64(time.Millisecond), status)
+		}
+	} else {
+		printRounds(results)
+	}
+
+	st := hotc.Summarize(results)
+	fmt.Printf("\npolicy=%s profile=%s pattern=%s\n", sim.PolicyName(), *profileFlag, *patternFlag)
+	fmt.Printf("requests=%d cold=%d reused=%d mean=%.2fms p99=%.2fms max=%.2fms\n",
+		st.Requests, st.ColdStarts, st.Reused, st.MeanMS, st.P99MS, st.MaxMS)
+	fmt.Printf("live containers at end: %d; host cpu=%.1f%% mem=%.0fMB\n",
+		sim.LiveContainers(), sim.HostCPUPct(), sim.HostMemMB())
+}
+
+func runSpec(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := scenario.Parse(data)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := spec.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scenario %q (policy %s)\n", out.Name, out.Policy)
+	fmt.Printf("requests=%d cold=%d reused=%d mean=%.2fms p99=%.2fms max=%.2fms live=%d\n",
+		out.Stats.Requests, out.Stats.ColdStarts, out.Stats.Reused,
+		out.Stats.MeanMS, out.Stats.P99MS, out.Stats.MaxMS, out.LiveContainers)
+	if len(out.ServedByNode) > 0 {
+		fmt.Printf("served per node: %v\n", out.ServedByNode)
+	}
+	names := make([]string, 0, len(out.PerFunction))
+	for name := range out.PerFunction {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fo := out.PerFunction[name]
+		fmt.Printf("  %-20s requests=%-5d cold=%-4d mean=%.2fms\n",
+			name, fo.Requests, fo.ColdStarts, fo.MeanMS)
+	}
+}
+
+func buildPattern(kind string, interval time.Duration, count, rounds, threads, minutes int, seed int64, nClasses int) hotc.Workload {
+	switch kind {
+	case "serial":
+		return hotc.SerialWorkload(interval, count)
+	case "parallel":
+		return hotc.ParallelWorkload(threads, rounds, interval)
+	case "linear-inc":
+		return hotc.LinearWorkload(2, 2, rounds, interval)
+	case "linear-dec":
+		return hotc.LinearWorkload(2*rounds, -2, rounds, interval)
+	case "exp":
+		return hotc.ExponentialWorkload(rounds, interval, false)
+	case "exp-dec":
+		return hotc.ExponentialWorkload(rounds, interval, true)
+	case "burst":
+		return hotc.BurstWorkload(8, 10, []int{4, 8, 12, 16}, rounds, interval)
+	case "campus":
+		return hotc.CampusWorkload(seed, 20, minutes, nClasses)
+	default:
+		fatal(fmt.Errorf("unknown pattern %q", kind))
+		return nil
+	}
+}
+
+func pickApp(name, lang string) (hotc.App, string, error) {
+	switch name {
+	case "qr":
+		app, err := hotc.AppQR(lang)
+		return app, app.Image, err
+	case "random":
+		app, err := hotc.AppRandomNumber(lang)
+		return app, app.Image, err
+	case "v3":
+		app := hotc.AppV3()
+		return app, app.Image, nil
+	case "tfapi":
+		app := hotc.AppTFAPI()
+		return app, app.Image, nil
+	case "cassandra":
+		app := hotc.AppCassandra()
+		return app, app.Image, nil
+	default:
+		return hotc.App{}, "", fmt.Errorf("unknown app %q", name)
+	}
+}
+
+func printRounds(results []hotc.RequestResult) {
+	byRound := map[int][]hotc.RequestResult{}
+	maxRound := 0
+	for _, r := range results {
+		byRound[r.Round] = append(byRound[r.Round], r)
+		if r.Round > maxRound {
+			maxRound = r.Round
+		}
+	}
+	fmt.Printf("%-6s %-9s %-12s %-6s\n", "round", "requests", "mean (ms)", "cold")
+	for round := 0; round <= maxRound; round++ {
+		rs := byRound[round]
+		if len(rs) == 0 {
+			continue
+		}
+		sum, cold := 0.0, 0
+		for _, r := range rs {
+			sum += float64(r.Latency) / float64(time.Millisecond)
+			if !r.Reused {
+				cold++
+			}
+		}
+		fmt.Printf("%-6d %-9d %-12.2f %-6d\n", round+1, len(rs), sum/float64(len(rs)), cold)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hotc-sim:", err)
+	os.Exit(1)
+}

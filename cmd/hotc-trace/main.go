@@ -1,0 +1,205 @@
+// Command hotc-trace inspects and generates the workloads and corpora
+// the experiments run on.
+//
+// Subcommands:
+//
+//	hotc-trace campus [-minutes N] [-scale S] [-seed X]
+//	    print the diurnal envelope and a generated trace's per-minute
+//	    counts
+//	hotc-trace pattern -kind serial|parallel|linear|exp|burst [...]
+//	    print a pattern's per-round request counts
+//	hotc-trace corpus [-projects N] [-seed X]
+//	    generate a synthetic Dockerfile corpus and print the Fig. 2
+//	    popularity and category analysis
+//	hotc-trace parse <Dockerfile path>
+//	    parse a Dockerfile and print its analysed fields
+//	hotc-trace key [docker-run-style args...]
+//	    run Parameter Analysis on a command and print the canonical
+//	    pool key and the relaxed key
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hotc"
+	"hotc/internal/config"
+	"hotc/internal/image"
+	"hotc/internal/rng"
+	"hotc/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "campus":
+		campusCmd(os.Args[2:])
+	case "pattern":
+		patternCmd(os.Args[2:])
+	case "corpus":
+		corpusCmd(os.Args[2:])
+	case "parse":
+		parseCmd(os.Args[2:])
+	case "key":
+		keyCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hotc-trace campus|pattern|corpus|parse|key [flags]")
+	os.Exit(2)
+}
+
+func campusCmd(args []string) {
+	fs := flag.NewFlagSet("campus", flag.ExitOnError)
+	minutes := fs.Int("minutes", 1440, "trace length in minutes")
+	scale := fs.Float64("scale", 1, "downscale factor")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "export the schedule as CSV to this path")
+	fs.Parse(args)
+
+	reqs := trace.Campus{Seed: *seed, Scale: *scale, Minutes: *minutes}.Generate()
+	if *out != "" {
+		exportCSV(*out, reqs)
+	}
+	counts := trace.CountPerRound(reqs)
+	fmt.Printf("%-8s %-10s %-10s\n", "minute", "envelope", "generated")
+	for m := 0; m < *minutes; m += 10 {
+		gen := 0.0
+		if m < len(counts) {
+			gen = counts[m]
+		}
+		fmt.Printf("T%-7d %-10.1f %-10.0f\n", m, trace.CampusEnvelope(m) / *scale, gen)
+	}
+	fmt.Printf("\ntotal requests: %d over %d minutes\n", len(reqs), *minutes)
+}
+
+func patternCmd(args []string) {
+	fs := flag.NewFlagSet("pattern", flag.ExitOnError)
+	kind := fs.String("kind", "serial", "serial|parallel|linear|linear-dec|exp|exp-dec|burst|poisson")
+	rounds := fs.Int("rounds", 10, "rounds")
+	threads := fs.Int("threads", 10, "threads (parallel)")
+	interval := fs.Duration("interval", 30*time.Second, "round interval")
+	rate := fs.Float64("rate", 1, "requests/sec (poisson)")
+	out := fs.String("o", "", "export the schedule as CSV to this path")
+	fs.Parse(args)
+
+	var p trace.Pattern
+	switch *kind {
+	case "serial":
+		p = trace.Serial{Interval: *interval, Count: *rounds}
+	case "parallel":
+		p = trace.Parallel{Threads: *threads, Interval: *interval, Rounds: *rounds}
+	case "linear":
+		p = trace.Linear{Start: 2, Step: 2, Rounds: *rounds, Interval: *interval}
+	case "linear-dec":
+		p = trace.Linear{Start: 2 * *rounds, Step: -2, Rounds: *rounds, Interval: *interval}
+	case "exp":
+		p = trace.Exponential{Rounds: *rounds, Interval: *interval}
+	case "exp-dec":
+		p = trace.Exponential{Rounds: *rounds, Interval: *interval, Decreasing: true}
+	case "burst":
+		p = trace.Burst{Base: 8, Factor: 10, BurstRounds: []int{4, 8, 12, 16}, Rounds: *rounds, Interval: *interval}
+	case "poisson":
+		p = trace.Poisson{Seed: 1, RatePerSec: *rate, Length: time.Duration(*rounds) * *interval}
+	default:
+		fmt.Fprintf(os.Stderr, "hotc-trace: unknown pattern %q\n", *kind)
+		os.Exit(2)
+	}
+	reqs := p.Generate()
+	if *out != "" {
+		exportCSV(*out, reqs)
+	}
+	st := trace.Stats(reqs)
+	fmt.Printf("pattern: %s, %d requests over %v (%.2f/s mean, peak %d/round, %d classes)\n\n",
+		p.Name(), st.Requests, st.Span, st.MeanRatePerSec, st.PeakPerRound, st.Classes)
+	fmt.Printf("%-7s %-9s\n", "round", "requests")
+	for round, n := range trace.CountPerRound(reqs) {
+		fmt.Printf("%-7d %-9.0f\n", round+1, n)
+	}
+}
+
+func exportCSV(path string, reqs []trace.Request) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotc-trace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := trace.WriteCSV(f, reqs); err != nil {
+		fmt.Fprintln(os.Stderr, "hotc-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d requests to %s\n", len(reqs), path)
+}
+
+func corpusCmd(args []string) {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	projects := fs.Int("projects", 3000, "projects to synthesise")
+	seed := fs.Int64("seed", 2021, "random seed")
+	fs.Parse(args)
+
+	c, err := image.GenerateCorpus(rng.New(*seed), *projects)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotc-trace:", err)
+		os.Exit(1)
+	}
+	pop := c.Popularity(c.All())
+	fmt.Printf("%-14s %-8s %-8s\n", "base image", "count", "share")
+	for i, s := range pop.Shares {
+		if i >= 15 {
+			break
+		}
+		fmt.Printf("%-14s %-8d %.1f%%\n", s.Base, s.Count, 100*s.Share)
+	}
+	cats := c.Categories(c.All())
+	fmt.Printf("\ncategories: os=%.1f%% language=%.1f%% application=%.1f%%\n",
+		100*cats.OS, 100*cats.Language, 100*cats.Application)
+	fmt.Printf("top-10 share: %.1f%% (all), top-5: %.1f%%\n", 100*pop.Top10Share, 100*pop.Top5Share)
+}
+
+func parseCmd(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hotc-trace parse <Dockerfile>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotc-trace:", err)
+		os.Exit(1)
+	}
+	df, err := image.ParseDockerfile(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotc-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("base image:  %s (repository %s)\n", df.BaseImage, df.BaseName())
+	fmt.Printf("final image: %s, stages: %d\n", df.FinalImage, df.Stages)
+	fmt.Printf("instructions: %d, env: %d, labels: %d\n", len(df.Instructions), len(df.Env), len(df.Labels))
+	if len(df.ExposedPorts) > 0 {
+		fmt.Printf("exposed ports: %v\n", df.ExposedPorts)
+	}
+	if len(df.Volumes) > 0 {
+		fmt.Printf("volumes: %v\n", df.Volumes)
+	}
+}
+
+func keyCmd(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hotc-trace key [docker-run flags] IMAGE [CMD...]")
+		os.Exit(2)
+	}
+	rt, err := hotc.ParseCommand(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotc-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("canonical key: %s\n", rt.Key())
+	fmt.Printf("relaxed key:   %s\n", config.Runtime(rt).Relaxed())
+}

@@ -1,0 +1,92 @@
+package hotc_test
+
+import (
+	"fmt"
+	"time"
+
+	"hotc"
+)
+
+// ExampleNewSimulation shows the minimal HotC deployment: one
+// function, a serial request stream, and the cold-start count.
+func ExampleNewSimulation() {
+	sim, err := hotc.NewSimulation(hotc.Config{
+		Policy:      hotc.PolicyHotC,
+		LocalImages: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sim.Close()
+
+	app, _ := hotc.AppQR("python")
+	if err := sim.Deploy(hotc.FunctionSpec{
+		Name:    "url2qr",
+		Runtime: hotc.Runtime{Image: "python:3.8"},
+		App:     app,
+	}); err != nil {
+		panic(err)
+	}
+
+	results, err := sim.Replay(hotc.SerialWorkload(30*time.Second, 10), nil)
+	if err != nil {
+		panic(err)
+	}
+	st := hotc.Summarize(results)
+	fmt.Printf("requests=%d cold=%d reused=%d\n", st.Requests, st.ColdStarts, st.Reused)
+	// Output: requests=10 cold=1 reused=9
+}
+
+// ExampleParseCommand runs the Parameter Analysis stage on a
+// docker-run-style command and prints the canonical pool key.
+func ExampleParseCommand() {
+	rt, err := hotc.ParseCommand([]string{"--net", "host", "-e", "MODE=prod", "python:3.8", "app.py"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rt.Key())
+	// Output: img=python:3.8;net=host;uts=;ipc=;env=MODE=prod;vol=;mem=0;cpu=0;ep=;cmd=app.py;
+}
+
+// ExampleNewPredictor demonstrates one-step-ahead demand forecasting
+// with the paper's combined ES+Markov predictor.
+func ExampleNewPredictor() {
+	p := hotc.NewPredictor()
+	for _, demand := range []float64{8, 8, 9, 8, 8, 19, 19, 18} {
+		p.Observe(demand)
+	}
+	fmt.Printf("next interval forecast: %.0f containers\n", p.Predict())
+	// Output: next interval forecast: 19 containers
+}
+
+// ExampleSimulation_ReplayChain pushes requests through a function
+// pipeline (the paper's image-processing scenario).
+func ExampleSimulation_ReplayChain() {
+	sim, err := hotc.NewSimulation(hotc.Config{Policy: hotc.PolicyHotC, LocalImages: true})
+	if err != nil {
+		panic(err)
+	}
+	defer sim.Close()
+
+	for _, name := range []string{"compress", "watermark"} {
+		app, _ := hotc.AppQR("python")
+		if err := sim.Deploy(hotc.FunctionSpec{
+			Name:    name,
+			Runtime: hotc.Runtime{Image: "python:3.8", Env: []string{"STAGE=" + name}},
+			App:     app,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	results, err := sim.ReplayChain(hotc.SerialWorkload(time.Minute, 3), []string{"compress", "watermark"})
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range results {
+		fmt.Printf("photo %d: %d/%d stages cold\n", i+1, r.ColdStages, r.Stages)
+	}
+	// Output:
+	// photo 1: 2/2 stages cold
+	// photo 2: 0/2 stages cold
+	// photo 3: 0/2 stages cold
+}

@@ -1,0 +1,3 @@
+module hotc
+
+go 1.22

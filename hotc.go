@@ -1,0 +1,466 @@
+// Package hotc is the public API of the HotC reproduction: a
+// container-based runtime management framework that mitigates
+// serverless cold start by reusing live container runtimes, with
+// adaptive pool control combining exponential smoothing and a Markov
+// chain (Suo et al., "Tackling Cold Start of Serverless Applications
+// by Efficient and Adaptive Container Runtime Reusing", IEEE CLUSTER
+// 2021).
+//
+// The package exposes three layers:
+//
+//   - Parameter analysis: ParseCommand / ParseConfigFile turn a docker
+//     run-style command or a JSON file into a canonical runtime Key
+//     (§IV.B of the paper).
+//   - Prediction: NewPredictor returns the combined ES+Markov demand
+//     forecaster of §IV.C; NewExponentialSmoothing and NewMarkovChain
+//     expose its parts for ablation.
+//   - Simulation: NewSimulation wires the full serverless substrate —
+//     container engine, image registry, OpenFaaS-style gateway, HotC
+//     middleware or a baseline policy — over a deterministic virtual
+//     clock, so workloads replay reproducibly on server or edge
+//     hardware profiles.
+package hotc
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hotc/internal/config"
+	"hotc/internal/container"
+	"hotc/internal/core"
+	"hotc/internal/costmodel"
+	"hotc/internal/faas"
+	"hotc/internal/host"
+	"hotc/internal/image"
+	"hotc/internal/metrics"
+	"hotc/internal/policy"
+	"hotc/internal/pool"
+	"hotc/internal/predictor"
+	"hotc/internal/rng"
+	"hotc/internal/simclock"
+	"hotc/internal/trace"
+	"hotc/internal/workload"
+)
+
+// Runtime is a container runtime configuration: the unit of identity
+// for reuse decisions.
+type Runtime = config.Runtime
+
+// Key is the canonical formatted runtime configuration used to index
+// the live container pool.
+type Key = config.Key
+
+// ParseCommand parses a docker-run-style argument vector into a
+// Runtime (the paper's Parameter Analysis step).
+func ParseCommand(args []string) (Runtime, error) { return config.ParseCommand(args) }
+
+// ParseConfigFile parses a JSON runtime configuration file.
+func ParseConfigFile(data []byte) (Runtime, error) { return config.ParseFile(data) }
+
+// Predictor forecasts next-interval container demand from per-interval
+// observations.
+type Predictor = predictor.Predictor
+
+// NewPredictor returns HotC's combined ES+Markov predictor with the
+// paper's parameters (α = 0.8, initial value = mean of the first five
+// observations, Markov correction over error region states).
+func NewPredictor() Predictor { return predictor.Default() }
+
+// NewExponentialSmoothing returns the Eq. 1 predictor alone.
+func NewExponentialSmoothing(alpha float64) Predictor { return predictor.NewES(alpha) }
+
+// NewMarkovChain returns the Eq. 2 region-state predictor alone, with
+// n region states.
+func NewMarkovChain(n int) Predictor { return predictor.NewMarkov(n) }
+
+// Profile selects the simulated hardware.
+type Profile string
+
+// The hardware profiles from the paper's testbed (§V.A).
+const (
+	// ProfileServer is the Dell PowerEdge T430 (20 cores, 64 GB).
+	ProfileServer Profile = "server"
+	// ProfileEdgePi is the Raspberry Pi 3 (4 cores, 1 GB).
+	ProfileEdgePi Profile = "edge-pi"
+)
+
+// Policy selects the runtime management strategy.
+type Policy string
+
+// The available strategies: HotC plus the industry baselines of §III.B.
+const (
+	// PolicyHotC is the paper's contribution: pooled reuse with
+	// adaptive ES+Markov control.
+	PolicyHotC Policy = "hotc"
+	// PolicyCold is the default serverless behaviour: a fresh
+	// container per request.
+	PolicyCold Policy = "cold"
+	// PolicyKeepAlive retains containers for a fixed window after use
+	// (AWS-style).
+	PolicyKeepAlive Policy = "keepalive"
+	// PolicyWarmup adds periodic warm-up pings (Azure Logic-style).
+	PolicyWarmup Policy = "warmup"
+	// PolicyHistogram adapts the keep-alive window per runtime type
+	// from observed inter-arrival times.
+	PolicyHistogram Policy = "histogram"
+)
+
+// Config configures a Simulation.
+type Config struct {
+	// Profile is the hardware profile (default ProfileServer).
+	Profile Profile
+	// Policy is the runtime management strategy (default PolicyHotC).
+	Policy Policy
+	// Seed drives latency jitter; 0 means a noiseless simulation.
+	Seed int64
+	// KeepAliveWindow tunes PolicyKeepAlive/PolicyWarmup (default 15m).
+	KeepAliveWindow time.Duration
+	// ControlInterval is HotC's control-loop period (default 10s).
+	ControlInterval time.Duration
+	// MaxLiveContainers caps the pool (default 500, the paper's value).
+	MaxLiveContainers int
+	// MemoryThresholdPct is the eviction threshold (default 80).
+	MemoryThresholdPct float64
+	// EnableRelaxedMatching turns on §VII fuzzy-key reuse.
+	EnableRelaxedMatching bool
+	// LocalImages pre-pulls the catalog into the layer cache, matching
+	// the paper's locally-stored images (default true behaviour is
+	// opt-in via this flag).
+	LocalImages bool
+}
+
+// FunctionSpec describes a function to deploy.
+type FunctionSpec struct {
+	// Name is the gateway-visible function name.
+	Name string
+	// Runtime is the container configuration it executes in.
+	Runtime Runtime
+	// App is the workload model; use one of the App constructors.
+	App App
+	// MaxConcurrency caps simultaneous executions; excess requests
+	// queue FIFO at the gateway (0 = unlimited).
+	MaxConcurrency int
+}
+
+// App models a serverless application's cost profile.
+type App = workload.App
+
+// The paper's evaluation applications.
+var (
+	// AppV3 is the Python inception-v3 image recognition app (Fig. 8).
+	AppV3 = workload.V3App
+	// AppTFAPI is the Go TensorFlow-API image recognition app (Fig. 8).
+	AppTFAPI = workload.TFAPIApp
+	// AppCassandra is the heavy JVM database of Fig. 15(b).
+	AppCassandra = workload.Cassandra
+)
+
+// AppQR returns the Fig. 9 URL-to-QR web function in the given
+// language ("go", "python", "node", "java").
+func AppQR(language string) (App, error) {
+	l, err := parseLanguage(language)
+	if err != nil {
+		return App{}, err
+	}
+	return workload.QRApp(l), nil
+}
+
+// AppRandomNumber returns the trivial random-number backend of Fig. 1.
+func AppRandomNumber(language string) (App, error) {
+	l, err := parseLanguage(language)
+	if err != nil {
+		return App{}, err
+	}
+	return workload.RandomNumber(l), nil
+}
+
+func parseLanguage(s string) (workload.Language, error) {
+	for _, l := range workload.Languages() {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("hotc: unknown language %q (want go/python/node/java)", s)
+}
+
+// RequestResult is the outcome of one replayed request.
+type RequestResult struct {
+	// Function that served the request.
+	Function string
+	// Latency is the end-to-end client-observed latency.
+	Latency time.Duration
+	// Initiation is the cold-start component (watchdog-in to
+	// function-start).
+	Initiation time.Duration
+	// Reused reports whether a live container runtime was reused.
+	Reused bool
+	// Round is the trace round the request belonged to.
+	Round int
+	// Err is non-nil if the request failed.
+	Err error
+}
+
+// Simulation is a deterministic serverless deployment: engine,
+// gateway, policy and host monitor over a virtual clock.
+type Simulation struct {
+	cfg      Config
+	sched    *simclock.Scheduler
+	engine   *container.Engine
+	registry *image.Registry
+	gateway  *faas.Gateway
+	hostM    *host.Host
+	hotc     *core.HotC
+	provider faas.Provider
+}
+
+// NewSimulation wires a Simulation from the Config.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	var prof costmodel.Profile
+	switch cfg.Profile {
+	case "", ProfileServer:
+		prof = costmodel.Server()
+	case ProfileEdgePi:
+		prof = costmodel.EdgePi()
+	default:
+		return nil, fmt.Errorf("hotc: unknown profile %q", cfg.Profile)
+	}
+	sched := simclock.New()
+	reg := image.StandardCatalog()
+	cache := image.NewCache()
+	var jit *rng.Source
+	if cfg.Seed != 0 {
+		jit = rng.New(cfg.Seed)
+	}
+	eng := container.NewEngine(sched, costmodel.New(prof), reg, cache, jit)
+	if cfg.LocalImages {
+		for _, ref := range reg.Refs() {
+			if im, err := reg.Lookup(ref); err == nil {
+				cache.Admit(im)
+			}
+		}
+	}
+	s := &Simulation{cfg: cfg, sched: sched, engine: eng, registry: reg, hostM: host.New(eng)}
+
+	poolOpts := pool.Options{
+		MaxLive:         cfg.MaxLiveContainers,
+		MemThresholdPct: cfg.MemoryThresholdPct,
+		MemUsedPct:      s.hostM.UsedMemPct,
+		EnableRelaxed:   cfg.EnableRelaxedMatching,
+	}
+	switch cfg.Policy {
+	case "", PolicyHotC:
+		h := core.New(eng, core.Options{Pool: poolOpts, Interval: cfg.ControlInterval})
+		h.Start()
+		s.hotc = h
+		s.provider = h
+	case PolicyCold:
+		s.provider = policy.NewNoReuse(eng)
+	case PolicyKeepAlive:
+		s.provider = policy.NewFixedKeepAlive(pool.New(eng, poolOpts), cfg.KeepAliveWindow)
+	case PolicyWarmup:
+		s.provider = policy.NewPeriodicWarmup(pool.New(eng, poolOpts), 5*time.Minute, cfg.KeepAliveWindow)
+	case PolicyHistogram:
+		s.provider = policy.NewHistogram(pool.New(eng, poolOpts))
+	default:
+		return nil, fmt.Errorf("hotc: unknown policy %q", cfg.Policy)
+	}
+	s.gateway = faas.NewGateway(eng, s.provider)
+	return s, nil
+}
+
+// Deploy registers a function with the gateway (and with HotC's
+// adaptive controller when running PolicyHotC).
+func (s *Simulation) Deploy(fn FunctionSpec) error {
+	if err := s.gateway.Deploy(faas.Function{
+		Name: fn.Name, Runtime: fn.Runtime, App: fn.App,
+		MaxConcurrency: fn.MaxConcurrency,
+	},
+		faas.ResolverFunc(func(rt config.Runtime) (container.Spec, error) {
+			return container.ResolveSpec(rt, s.registry)
+		})); err != nil {
+		return err
+	}
+	spec, _ := s.gateway.Spec(fn.Name)
+	if s.hotc != nil {
+		return s.hotc.Register(spec, fn.App)
+	}
+	if w, ok := s.provider.(*policy.PeriodicWarmup); ok {
+		w.StartPinger(spec, fn.App)
+	}
+	return nil
+}
+
+// Workload is a request schedule; build one with the pattern
+// constructors below.
+type Workload = []trace.Request
+
+// The paper's request patterns (§V.D).
+func SerialWorkload(interval time.Duration, count int) Workload {
+	return trace.Serial{Interval: interval, Count: count}.Generate()
+}
+
+// ParallelWorkload emits rounds of simultaneous requests from threads
+// client threads; thread i sends class-i requests.
+func ParallelWorkload(threads, rounds int, interval time.Duration) Workload {
+	return trace.Parallel{Threads: threads, Interval: interval, Rounds: rounds}.Generate()
+}
+
+// LinearWorkload ramps the per-round request count by step.
+func LinearWorkload(start, step, rounds int, interval time.Duration) Workload {
+	return trace.Linear{Start: start, Step: step, Rounds: rounds, Interval: interval}.Generate()
+}
+
+// ReadWorkloadCSV parses a workload from CSV with an
+// "at_ms,class,round" header, so measured traces can be replayed.
+func ReadWorkloadCSV(r io.Reader) (Workload, error) { return trace.ReadCSV(r) }
+
+// WriteWorkloadCSV writes a workload as CSV.
+func WriteWorkloadCSV(w io.Writer, workload Workload) error { return trace.WriteCSV(w, workload) }
+
+// ExponentialWorkload emits 2^i requests at round i (reversed when
+// decreasing).
+func ExponentialWorkload(rounds int, interval time.Duration, decreasing bool) Workload {
+	return trace.Exponential{Rounds: rounds, Interval: interval, Decreasing: decreasing}.Generate()
+}
+
+// BurstWorkload sends base requests per round with factor-times bursts
+// at the given rounds.
+func BurstWorkload(base, factor int, burstRounds []int, rounds int, interval time.Duration) Workload {
+	return trace.Burst{Base: base, Factor: factor, BurstRounds: burstRounds, Rounds: rounds, Interval: interval}.Generate()
+}
+
+// CampusWorkload synthesises the Fig. 11 diurnal YouTube trace, scaled
+// down by scale, for the given number of minutes.
+func CampusWorkload(seed int64, scale float64, minutes, classes int) Workload {
+	return trace.Campus{Seed: seed, Scale: scale, Minutes: minutes, Classes: classes}.Generate()
+}
+
+// Replay runs the workload against the deployment. classFn maps a
+// request class to a deployed function name; pass nil when a single
+// function serves everything (the first deployed name is used).
+func (s *Simulation) Replay(w Workload, classFn func(class int) string) ([]RequestResult, error) {
+	if classFn == nil {
+		names := s.gateway.Functions()
+		if len(names) == 0 {
+			return nil, fmt.Errorf("hotc: no functions deployed")
+		}
+		classFn = func(int) string { return names[0] }
+	}
+	raw, err := faas.Run(s.gateway, w, classFn)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RequestResult, len(raw))
+	for i, r := range raw {
+		out[i] = RequestResult{
+			Function:   r.Function,
+			Latency:    r.Timestamps.Total(),
+			Initiation: r.Timestamps.Initiation(),
+			Reused:     r.Reused,
+			Round:      r.Request.Round,
+			Err:        r.Err,
+		}
+	}
+	return out, nil
+}
+
+// ChainResult is the outcome of one request through a function chain
+// (the paper's Fig. 3a image-processing pipeline scenario).
+type ChainResult struct {
+	// Latency is the end-to-end latency across all stages.
+	Latency time.Duration
+	// ColdStages counts stages that did not reuse a runtime.
+	ColdStages int
+	// Stages is the number of completed stages.
+	Stages int
+	// Round is the trace round.
+	Round int
+	// Err is the first stage failure, if any.
+	Err error
+}
+
+// ReplayChain runs the workload where every request traverses the
+// named functions in order, each stage's output triggering the next.
+func (s *Simulation) ReplayChain(w Workload, stages []string) ([]ChainResult, error) {
+	raw, err := faas.RunChain(s.gateway, w, stages)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ChainResult, len(raw))
+	for i, cr := range raw {
+		out[i] = ChainResult{
+			Latency:    cr.Total(),
+			ColdStages: cr.ColdStages(),
+			Stages:     len(cr.Stages),
+			Round:      cr.Request.Round,
+			Err:        cr.Err,
+		}
+	}
+	return out, nil
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() time.Duration { return s.sched.Now() }
+
+// AdvanceTime runs the simulation forward by d with no new requests
+// (background control loops keep running).
+func (s *Simulation) AdvanceTime(d time.Duration) { s.sched.Sleep(d) }
+
+// LiveContainers reports the number of live containers.
+func (s *Simulation) LiveContainers() int { return s.engine.Live() }
+
+// HostCPUPct and HostMemMB report current host resource usage.
+func (s *Simulation) HostCPUPct() float64 { return s.hostM.UsedCPUPct() }
+
+// HostMemMB reports current host memory usage in MB.
+func (s *Simulation) HostMemMB() float64 { return s.hostM.UsedMemMB() }
+
+// PolicyName reports the active policy's display name.
+func (s *Simulation) PolicyName() string { return s.provider.Name() }
+
+// Close stops background machinery (HotC's control loop, warm-up
+// pingers).
+func (s *Simulation) Close() {
+	if s.hotc != nil {
+		s.hotc.Stop()
+	}
+	if w, ok := s.provider.(*policy.PeriodicWarmup); ok {
+		w.StopPingers()
+	}
+}
+
+// Stats summarises a replay.
+type Stats struct {
+	Requests   int
+	ColdStarts int
+	Reused     int
+	MeanMS     float64
+	P99MS      float64
+	MaxMS      float64
+}
+
+// Summarize computes aggregate statistics over results.
+func Summarize(results []RequestResult) Stats {
+	var st Stats
+	var lat metrics.Series
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		st.Requests++
+		if r.Reused {
+			st.Reused++
+		} else {
+			st.ColdStarts++
+		}
+		lat.AddDuration(r.Latency)
+	}
+	if st.Requests == 0 {
+		return st
+	}
+	st.MeanMS = lat.Mean()
+	st.P99MS = lat.Percentile(99)
+	st.MaxMS = lat.Max()
+	return st
+}

@@ -1,0 +1,191 @@
+package hotc
+
+import (
+	"testing"
+	"time"
+)
+
+func mustQR(t *testing.T) App {
+	t.Helper()
+	app, err := AppQR("python")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func newSim(t *testing.T, cfg Config) *Simulation {
+	t.Helper()
+	if cfg.LocalImages == false {
+		cfg.LocalImages = true
+	}
+	s, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sim := newSim(t, Config{Policy: PolicyHotC})
+	if err := sim.Deploy(FunctionSpec{
+		Name:    "qr",
+		Runtime: Runtime{Image: "python:3.8"},
+		App:     mustQR(t),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := sim.Replay(SerialWorkload(30*time.Second, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(results)
+	if st.Requests != 10 || st.ColdStarts != 1 || st.Reused != 9 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MeanMS <= 0 || st.P99MS < st.MeanMS || st.MaxMS < st.P99MS {
+		t.Fatalf("latency stats inconsistent: %+v", st)
+	}
+}
+
+func TestAllPoliciesConstructible(t *testing.T) {
+	for _, p := range []Policy{PolicyHotC, PolicyCold, PolicyKeepAlive, PolicyWarmup, PolicyHistogram} {
+		sim := newSim(t, Config{Policy: p})
+		if err := sim.Deploy(FunctionSpec{Name: "qr", Runtime: Runtime{Image: "python:3.8"}, App: mustQR(t)}); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		results, err := sim.Replay(SerialWorkload(time.Minute, 3), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if Summarize(results).Requests != 3 {
+			t.Fatalf("%s: lost requests", p)
+		}
+		if sim.PolicyName() == "" {
+			t.Fatalf("%s: empty policy name", p)
+		}
+	}
+}
+
+func TestBothProfiles(t *testing.T) {
+	server := newSim(t, Config{Profile: ProfileServer, Policy: PolicyCold})
+	pi := newSim(t, Config{Profile: ProfileEdgePi, Policy: PolicyCold})
+	for _, s := range []*Simulation{server, pi} {
+		if err := s.Deploy(FunctionSpec{Name: "qr", Runtime: Runtime{Image: "python:3.8"}, App: mustQR(t)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, _ := server.Replay(SerialWorkload(time.Minute, 2), nil)
+	rp, _ := pi.Replay(SerialWorkload(time.Minute, 2), nil)
+	if rp[0].Latency <= rs[0].Latency {
+		t.Fatal("the Pi should be slower than the server")
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := NewSimulation(Config{Profile: "mainframe"}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if _, err := NewSimulation(Config{Policy: "magic"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestReplayWithoutDeployFails(t *testing.T) {
+	sim := newSim(t, Config{Policy: PolicyCold})
+	if _, err := sim.Replay(SerialWorkload(time.Second, 1), nil); err == nil {
+		t.Fatal("replay with no functions should fail")
+	}
+}
+
+func TestParseCommandFacade(t *testing.T) {
+	rt, err := ParseCommand([]string{"--net", "host", "python:3.8", "app.py"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Key() == "" {
+		t.Fatal("empty key")
+	}
+	rt2, err := ParseConfigFile([]byte(`{"image":"python:3.8","network":"host","cmd":["app.py"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Key() != rt2.Key() {
+		t.Fatal("command and config file forms should agree")
+	}
+}
+
+func TestPredictorFacade(t *testing.T) {
+	for _, p := range []Predictor{NewPredictor(), NewExponentialSmoothing(0.8), NewMarkovChain(4)} {
+		for i := 0; i < 10; i++ {
+			p.Observe(float64(i))
+		}
+		if v := p.Predict(); v < 0 {
+			t.Fatalf("%s predicted %v", p.Name(), v)
+		}
+	}
+}
+
+func TestAppConstructors(t *testing.T) {
+	if _, err := AppQR("cobol"); err == nil {
+		t.Fatal("unknown language accepted")
+	}
+	if _, err := AppRandomNumber("go"); err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []App{AppV3(), AppTFAPI(), AppCassandra()} {
+		if app.Name == "" {
+			t.Fatal("unnamed app")
+		}
+	}
+}
+
+func TestAdvanceTimeAndMonitoring(t *testing.T) {
+	sim := newSim(t, Config{Policy: PolicyKeepAlive, KeepAliveWindow: time.Minute})
+	if err := sim.Deploy(FunctionSpec{Name: "qr", Runtime: Runtime{Image: "python:3.8"}, App: mustQR(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Replay(SerialWorkload(time.Second, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if sim.LiveContainers() != 1 {
+		t.Fatalf("live = %d", sim.LiveContainers())
+	}
+	before := sim.Now()
+	sim.AdvanceTime(2 * time.Minute) // keep-alive lapses
+	if sim.Now() <= before {
+		t.Fatal("time did not advance")
+	}
+	if sim.LiveContainers() != 0 {
+		t.Fatal("keep-alive expiry did not run during AdvanceTime")
+	}
+	if sim.HostCPUPct() <= 0 || sim.HostMemMB() <= 0 {
+		t.Fatal("host monitoring broken")
+	}
+}
+
+func TestCampusWorkloadFacade(t *testing.T) {
+	w := CampusWorkload(1, 20, 60, 2)
+	if len(w) == 0 {
+		t.Fatal("empty campus workload")
+	}
+}
+
+func TestBurstAndLinearWorkloads(t *testing.T) {
+	if n := len(BurstWorkload(8, 10, []int{2}, 4, time.Second)); n != 8*3+80 {
+		t.Fatalf("burst workload size = %d", n)
+	}
+	if n := len(LinearWorkload(2, 2, 3, time.Second)); n != 2+4+6 {
+		t.Fatalf("linear workload size = %d", n)
+	}
+	if n := len(ParallelWorkload(3, 2, time.Second)); n != 6 {
+		t.Fatalf("parallel workload size = %d", n)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if st := Summarize(nil); st.Requests != 0 || st.MeanMS != 0 {
+		t.Fatalf("empty summary = %+v", st)
+	}
+}

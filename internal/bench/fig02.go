@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"hotc/internal/image"
+	"hotc/internal/rng"
+)
+
+// Fig02 reproduces the Dockerfile corpus survey of Fig. 2: base-image
+// popularity over all projects and over the 100 most-starred projects
+// (2a), and the OS/language/application category breakdown of base
+// images (2b).
+func Fig02(projects int) *Report {
+	if projects <= 0 {
+		projects = 3000
+	}
+	r := NewReport("fig02", "GitHub Dockerfile survey: base image popularity and categories")
+
+	corpus, err := image.GenerateCorpus(rng.New(2021), projects)
+	if err != nil {
+		panic(err)
+	}
+
+	all := corpus.Popularity(corpus.All())
+	top := corpus.Popularity(corpus.TopByStars(100))
+
+	ta := r.NewTable("Fig. 2(a) base image share (top 10 images)",
+		"base image", "all projects", "top-100 projects")
+	topShare := map[string]float64{}
+	for _, s := range top.Shares {
+		topShare[s.Base] = s.Share
+	}
+	for i, s := range all.Shares {
+		if i >= 10 {
+			break
+		}
+		ta.AddRow(s.Base, pct(s.Share), pct(topShare[s.Base]))
+	}
+	r.Notef("top-10 base images cover %s of all %d projects and %s of the top-100 — 'dominated by a few commonly used images'",
+		pct(all.Top10Share), all.Total, pct(top.Top10Share))
+
+	cats := corpus.Categories(corpus.All())
+	tb := r.NewTable("Fig. 2(b) base image categories", "category", "share")
+	tb.AddRow("OS", pct(cats.OS))
+	tb.AddRow("language runtime", pct(cats.Language))
+	tb.AddRow("application", pct(cats.Application))
+	r.Notef("OS and language images dominate the base-image settings (%s combined)",
+		pct(cats.OS+cats.Language))
+
+	return r
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"time"
+
+	"hotc/internal/config"
+	"hotc/internal/trace"
+	"hotc/internal/workload"
+)
+
+// Fig05 reproduces the §III.A quantitative breakdown of a request
+// through the OpenFaaS pipeline, using the six recorded moments:
+// gateway in (1), watchdog in (2), function start (3), function stop
+// (4), watchdog out (5), client out (6). The paper's finding: for a
+// cold request, function initiation (2->3) dominates total latency.
+func Fig05() *Report {
+	r := NewReport("fig05", "OpenFaaS request path breakdown (six timestamps)")
+
+	env := NewEnv(PolicyKeepAlive, EnvOptions{KeepAliveWindow: time.Hour, PrePull: true})
+	defer env.Close()
+	app := workload.RandomNumber(workload.Go)
+	if err := env.Deploy("rand", config.Runtime{Image: "golang:1.12"}, app); err != nil {
+		panic(err)
+	}
+
+	// Two requests: the first cold, the second warm.
+	results, err := env.Replay([]trace.Request{
+		{At: 0, Round: 0},
+		{At: time.Minute, Round: 1},
+	}, singleClass("rand"))
+	if err != nil {
+		panic(err)
+	}
+
+	t := r.NewTable("Fig. 5 stage durations",
+		"stage", "cold request (ms)", "warm request (ms)")
+	cold, warm := results[0].Timestamps, results[1].Timestamps
+	rows := []struct {
+		name       string
+		cold, warm time.Duration
+	}{
+		{"(1->2) gateway -> watchdog (incl. scale-up)", cold.WatchdogIn - cold.GatewayIn, warm.WatchdogIn - warm.GatewayIn},
+		{"(2->3) function initiation", cold.Initiation(), warm.Initiation()},
+		{"(3->4) function execution", cold.Execution(), warm.Execution()},
+		{"(4->5) watchdog response", cold.WatchdogOut - cold.FuncStop, warm.WatchdogOut - warm.FuncStop},
+		{"(5->6) gateway -> client", cold.ClientOut - cold.WatchdogOut, warm.ClientOut - warm.WatchdogOut},
+		{"total (1->6)", cold.Total(), warm.Total()},
+	}
+	for _, row := range rows {
+		t.AddRow(row.name, ms(row.cold), ms(row.warm))
+	}
+
+	// For a cold request, initiation plus scale-up dwarfs execution.
+	initShare := float64(cold.Total()-cold.Execution()) / float64(cold.Total())
+	r.Notef("cold request: initiation+scale-up is %s of total latency — 'function initiation time (2->3) dominates' (§III.A)", pct(initShare))
+	r.Notef("warm request total is %s of cold total", pct(float64(warm.Total())/float64(cold.Total())))
+	return r
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hotc/internal/config"
+	"hotc/internal/costmodel"
+	"hotc/internal/faas"
+	"hotc/internal/rng"
+	"hotc/internal/trace"
+	"hotc/internal/workload"
+)
+
+// fig09Functions defines the Fig. 9 web application: the URL-to-QR
+// service implemented "in different languages including Python, Go,
+// Node.js" behind NAT (bridge) networking. Clients send requests
+// "using random configurations", i.e. the class sequence is a random
+// choice among these functions.
+func fig09Functions() []faas.Function {
+	return []faas.Function{
+		{Name: "qr-python", Runtime: config.Runtime{Image: "python:3.8", Network: "nat"}, App: workload.QRApp(workload.Python)},
+		{Name: "qr-go", Runtime: config.Runtime{Image: "golang:1.12", Network: "nat"}, App: workload.QRApp(workload.Go)},
+		{Name: "qr-node", Runtime: config.Runtime{Image: "node:10", Network: "nat"}, App: workload.QRApp(workload.Node)},
+	}
+}
+
+// fig09Schedule builds the random-configuration request stream.
+func fig09Schedule(n int, seed int64) []trace.Request {
+	src := rng.New(seed)
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		reqs[i] = trace.Request{
+			At:    time.Duration(i) * 3 * time.Second,
+			Class: src.Intn(3),
+			Round: i,
+		}
+	}
+	return reqs
+}
+
+// fig09Run replays the stream under a policy and returns the results.
+func fig09Run(kind PolicyKind, n int) []faas.Result {
+	env := NewEnv(kind, EnvOptions{Profile: costmodel.Server(), Seed: 909, PrePull: true})
+	defer env.Close()
+	fns := fig09Functions()
+	for _, fn := range fns {
+		if err := env.Deploy(fn.Name, fn.Runtime, fn.App); err != nil {
+			panic(err)
+		}
+	}
+	classFn := func(c int) string { return fns[c%len(fns)].Name }
+	results, err := env.Replay(fig09Schedule(n, 99), classFn)
+	if err != nil {
+		panic(err)
+	}
+	return results
+}
+
+// Fig09 reproduces the web-application latency study: request latency
+// without HotC (every request pays container runtime setup) versus
+// with HotC (after the first few requests, runtimes are reused and
+// latency collapses towards the ~60ms URL transformation itself).
+func Fig09(requests int) *Report {
+	if requests <= 0 {
+		requests = 40
+	}
+	r := NewReport("fig09", "web QR service latency w/o and w/ HotC")
+
+	baseline := fig09Run(PolicyCold, requests)
+	hotc := fig09Run(PolicyHotC, requests)
+
+	t := r.NewTable("Fig. 9 per-request latency (random function configurations)",
+		"request", "function", "w/o HotC (ms)", "w/ HotC (ms)", "reused")
+	show := requests
+	if show > 20 {
+		show = 20
+	}
+	for i := 0; i < show; i++ {
+		reusedStr := "no"
+		if hotc[i].Reused {
+			reusedStr = "yes"
+		}
+		t.AddRow(fmt.Sprintf("%d", i+1), hotc[i].Function,
+			msF(float64(baseline[i].Timestamps.Total())/float64(time.Millisecond)),
+			msF(float64(hotc[i].Timestamps.Total())/float64(time.Millisecond)),
+			reusedStr)
+	}
+
+	baseMean := meanTotalMS(baseline, nil)
+	hotcMean := meanTotalMS(hotc, nil)
+	// Steady state: skip the first requests that cannot reuse yet.
+	steady := func(res faas.Result) bool { return res.Request.Round >= 6 }
+	hotcSteady := meanTotalMS(hotc, steady)
+	baseSteady := meanTotalMS(baseline, steady)
+
+	s := r.NewTable("Fig. 9 summary", "metric", "w/o HotC", "w/ HotC")
+	s.AddRow("mean latency (ms)", msF(baseMean), msF(hotcMean))
+	s.AddRow("steady-state mean (ms)", msF(baseSteady), msF(hotcSteady))
+	exec := float64(workload.QRApp(workload.Python).Exec) / float64(time.Millisecond)
+	r.Notef("URL transformation itself is ~%.0fms; without HotC the remainder is resource allocation and runtime setup (§V.B)", exec)
+	r.Notef("steady-state HotC latency is %s of the no-HotC latency", pct(hotcSteady/baseSteady))
+	return r
+}

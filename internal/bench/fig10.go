@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"hotc/internal/metrics"
+	"hotc/internal/predictor"
+	"hotc/internal/rng"
+)
+
+// fig10Series builds the demand series of Fig. 10: the live number of
+// a specific container type needed per control interval. It opens with
+// the paper's highlighted event — a stable level around 8 that jumps
+// to ~19 at index 7 (where the paper reports the relative error
+// dropping from 29% to 10% as ES catches up) — and continues with
+// recurring ramp waves, the long-horizon structure the error-chain
+// correction needs history to learn from.
+func fig10Series() []float64 {
+	src := rng.New(1010)
+	var s []float64
+	add := func(level float64, n int, jitter float64) {
+		for i := 0; i < n; i++ {
+			s = append(s, math.Max(0, math.Round(level+src.Norm(0, jitter))))
+		}
+	}
+	add(8, 7, 1.0)   // stable low level
+	add(19, 13, 1.2) // the 8 -> 19 jump at index 7
+	// The bulk of the horizon: a recurring linearly-increasing demand
+	// wave (the Fig. 13 pattern — the paper's §V.D request flows recur
+	// over time), where exponential smoothing lags systematically and
+	// the Markov error chain has structure to learn.
+	for cycle := 0; cycle < 9; cycle++ {
+		for i := 0; i < 20; i++ {
+			s = append(s, math.Max(0, math.Round(4+float64(i)*2+src.Norm(0, 1.0))))
+		}
+	}
+	return s
+}
+
+// Fig10 reproduces the prediction-strategy evaluation: (a) real demand
+// versus exponential smoothing alone versus the combined ES+Markov
+// predictor; (b) sensitivity to the smoothing coefficient alpha and to
+// the initial-value choice.
+func Fig10() *Report {
+	r := NewReport("fig10", "adaptive live container prediction (ES vs ES+Markov)")
+	series := fig10Series()
+
+	esPred := predictor.Backtest(predictor.NewES(predictor.DefaultAlpha), series)
+	combPred := predictor.Backtest(predictor.Default(), series)
+
+	ta := r.NewTable("Fig. 10(a) real vs predicted container demand (first 25 of 200 intervals)",
+		"interval", "real", "ES", "ES+Markov", "ES rel.err", "ES+Markov rel.err")
+	for i := range series {
+		if i >= 25 {
+			break
+		}
+		relES, relC := "-", "-"
+		if series[i] > 0 && i > 0 {
+			relES = pct(math.Abs(esPred[i]-series[i]) / series[i])
+			relC = pct(math.Abs(combPred[i]-series[i]) / series[i])
+		}
+		ta.AddRow(fmt.Sprintf("%d", i), f2(series[i]), f2(esPred[i]), f2(combPred[i]), relES, relC)
+	}
+	from := 5 // score after warmup
+	esMAE := metrics.MeanAbsError(esPred[from:], series[from:])
+	combMAE := metrics.MeanAbsError(combPred[from:], series[from:])
+	esMRE := metrics.MeanRelError(esPred[from:], series[from:])
+	combMRE := metrics.MeanRelError(combPred[from:], series[from:])
+	r.Notef("MAE: ES=%.2f ES+Markov=%.2f; mean relative error: ES=%s ES+Markov=%s — the Markov revision absorbs the volatility ES lags on (§V.C)",
+		esMAE, combMAE, pct(esMRE), pct(combMRE))
+
+	// (b) alpha sensitivity.
+	tb := r.NewTable("Fig. 10(b) sensitivity to smoothing coefficient α (combined predictor)",
+		"α", "MAE", "mean rel.err")
+	for _, alpha := range []float64{0.1, 0.3, 0.5, 0.8, 0.95} {
+		p := predictor.Backtest(predictor.NewCombined(alpha, predictor.DefaultStates), series)
+		tb.AddRow(f2(alpha), f2(metrics.MeanAbsError(p[from:], series[from:])),
+			pct(metrics.MeanRelError(p[from:], series[from:])))
+	}
+	r.Notef("larger α tracks recent data harder; the paper selects α=0.8 for volatile serverless series (§IV.C.2)")
+
+	// (b) initial-value sensitivity: first observation vs the mean of
+	// the first five (the paper's choice).
+	tc := r.NewTable("Fig. 10(b) sensitivity to the initial value (early predictions, ES α=0.8)",
+		"initialisation", "MAE over first 6 intervals")
+	first := predictor.NewES(predictor.DefaultAlpha)
+	first.InitWindow = 1
+	firstPred := predictor.Backtest(first, series)
+	meanPred := predictor.Backtest(predictor.NewES(predictor.DefaultAlpha), series)
+	tc.AddRow("first observation", f2(metrics.MeanAbsError(firstPred[1:7], series[1:7])))
+	tc.AddRow("mean of first five (paper)", f2(metrics.MeanAbsError(meanPred[1:7], series[1:7])))
+	r.Notef("the initial value matters only for the first few predictions; its influence vanishes as more data enters the model (§IV.C.2)")
+	return r
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hotc/internal/trace"
+)
+
+// Fig11 reproduces the campus YouTube request trace: the diurnal
+// envelope with the three representative patterns the paper calls out
+// — the T710 burst from ~20 to ~300 requests, the afternoon decline
+// from T800 to T1200, and the evening rise from T1200 to T1400.
+func Fig11() *Report {
+	r := NewReport("fig11", "campus YouTube request trace (synthetic reconstruction)")
+
+	t := r.NewTable("Fig. 11 envelope at representative minutes",
+		"minute of day", "requests/min (envelope)")
+	for _, m := range []int{0, 200, 400, 600, 700, 705, 710, 800, 1000, 1200, 1300, 1400, 1439} {
+		t.AddRow(fmt.Sprintf("T%d", m), f2(trace.CampusEnvelope(m)))
+	}
+
+	// A generated day, aggregated hourly.
+	day := trace.Campus{Seed: 11, Scale: 1}.Generate()
+	counts := trace.CountPerRound(day)
+	th := r.NewTable("Fig. 11 generated trace, hourly request totals",
+		"hour", "requests")
+	for h := 0; h < 24; h++ {
+		total := 0.0
+		for m := h * 60; m < (h+1)*60 && m < len(counts); m++ {
+			total += counts[m]
+		}
+		th.AddRow(fmt.Sprintf("%02d:00", h), fmt.Sprintf("%.0f", total))
+	}
+
+	burstRatio := trace.CampusEnvelope(710) / trace.CampusEnvelope(700)
+	r.Notef("burst at T710: %.1fx the pre-burst rate (paper: 20 -> 300 requests)", burstRatio)
+	r.Notef("decline T800->T1200: %.0f -> %.0f requests/min; evening rise T1200->T1400: %.0f -> %.0f",
+		trace.CampusEnvelope(800), trace.CampusEnvelope(1199),
+		trace.CampusEnvelope(1200), trace.CampusEnvelope(1400))
+	r.Notef("trace length %v, %d total requests", 24*time.Hour, len(day))
+	return r
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hotc/internal/config"
+	"hotc/internal/faas"
+	"hotc/internal/trace"
+	"hotc/internal/workload"
+)
+
+// fig12Deploy registers one function per client thread, each with its
+// own runtime configuration (distinct environment, rotating language
+// images), matching Fig. 12(b)'s "each thread has its own runtime
+// configuration".
+func fig12Deploy(env *Env, threads int) []string {
+	images := []struct {
+		img  string
+		lang workload.Language
+	}{
+		{"python:3.8", workload.Python},
+		{"node:10", workload.Node},
+		{"golang:1.12", workload.Go},
+	}
+	names := make([]string, threads)
+	for i := 0; i < threads; i++ {
+		pick := images[i%len(images)]
+		name := fmt.Sprintf("qr-thread-%d", i)
+		rt := config.Runtime{
+			Image:   pick.img,
+			Network: "nat",
+			Env:     []string{fmt.Sprintf("THREAD=%d", i)},
+		}
+		if err := env.Deploy(name, rt, workload.QRApp(pick.lang)); err != nil {
+			panic(err)
+		}
+		names[i] = name
+	}
+	return names
+}
+
+// fig12Run replays a pattern under a policy with per-class functions.
+func fig12Run(kind PolicyKind, pattern trace.Pattern, threads int) []faas.Result {
+	env := NewEnv(kind, EnvOptions{Seed: 1212, PrePull: true})
+	defer env.Close()
+	names := fig12Deploy(env, threads)
+	results, err := env.Replay(pattern.Generate(), func(c int) string { return names[c%threads] })
+	if err != nil {
+		panic(err)
+	}
+	return results
+}
+
+// Fig12 reproduces the serial and parallel request studies: (a) a
+// single client thread sending the same request every 30 seconds —
+// first request cold, all following requests reuse under HotC; (b) ten
+// client threads, each with its own runtime configuration — the
+// average HotC latency falls to a small fraction of the default
+// (paper: ~9%).
+func Fig12() *Report {
+	r := NewReport("fig12", "serial and parallel request latency")
+
+	// (a) serial.
+	serial := trace.Serial{Interval: 30 * time.Second, Count: 15}
+	base := fig12Run(PolicyCold, serial, 1)
+	hotc := fig12Run(PolicyHotC, serial, 1)
+	ta := r.NewTable("Fig. 12(a) serial requests every 30s",
+		"request", "w/o HotC (ms)", "w/ HotC (ms)", "reused")
+	for i := range base {
+		reused := "no"
+		if hotc[i].Reused {
+			reused = "yes"
+		}
+		ta.AddRow(fmt.Sprintf("%d", i+1),
+			ms(base[i].Timestamps.Total()), ms(hotc[i].Timestamps.Total()), reused)
+	}
+	steadyA := func(res faas.Result) bool { return res.Request.Round > 0 }
+	r.Notef("serial steady-state: HotC %sms vs default %sms",
+		msF(meanTotalMS(hotc, steadyA)), msF(meanTotalMS(base, steadyA)))
+
+	// (b) parallel, 10 threads with distinct configurations.
+	parallel := trace.Parallel{Threads: 10, Interval: 30 * time.Second, Rounds: 12}
+	pbase := fig12Run(PolicyCold, parallel, 10)
+	photc := fig12Run(PolicyHotC, parallel, 10)
+	tb := r.NewTable("Fig. 12(b) parallel requests, 10 threads with own configurations",
+		"round", "w/o HotC mean (ms)", "w/ HotC mean (ms)")
+	for round := 0; round < parallel.Rounds; round++ {
+		keep := func(res faas.Result) bool { return res.Request.Round == round }
+		tb.AddRow(fmt.Sprintf("%d", round+1),
+			msF(meanTotalMS(pbase, keep)), msF(meanTotalMS(photc, keep)))
+	}
+	steadyB := func(res faas.Result) bool { return res.Request.Round >= 2 }
+	ratio := meanTotalMS(photc, steadyB) / meanTotalMS(pbase, steadyB)
+	r.Notef("parallel steady-state HotC latency is %s of the default (paper: ~9%%)", pct(ratio))
+	return r
+}

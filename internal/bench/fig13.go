@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hotc/internal/config"
+	"hotc/internal/core"
+	"hotc/internal/faas"
+	"hotc/internal/trace"
+	"hotc/internal/workload"
+)
+
+// fig13Run replays a single-class pattern under a policy with the QR
+// workload and the controller tuned to the pattern's round interval.
+func fig13Run(kind PolicyKind, pattern trace.Pattern) []faas.Result {
+	env := NewEnv(kind, EnvOptions{
+		Seed:    1313,
+		PrePull: true,
+		Core:    core.Options{Interval: 30 * time.Second},
+	})
+	defer env.Close()
+	if err := env.Deploy("qr", config.Runtime{Image: "python:3.8", Network: "nat"},
+		workload.QRApp(workload.Python)); err != nil {
+		panic(err)
+	}
+	results, err := env.Replay(pattern.Generate(), singleClass("qr"))
+	if err != nil {
+		panic(err)
+	}
+	return results
+}
+
+// roundTable renders per-round mean latencies for baseline vs HotC,
+// plus the count of cold (non-reused) requests under HotC.
+func roundTable(r *Report, title string, rounds int, base, hotc []faas.Result) {
+	t := r.NewTable(title, "round", "requests", "w/o HotC mean (ms)", "w/ HotC mean (ms)", "HotC cold starts")
+	for round := 0; round < rounds; round++ {
+		keep := func(res faas.Result) bool { return res.Request.Round == round }
+		n, cold := 0, 0
+		for _, res := range hotc {
+			if res.Request.Round == round && res.Err == nil {
+				n++
+				if !res.Reused {
+					cold++
+				}
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%d", round+1), fmt.Sprintf("%d", n),
+			msF(meanTotalMS(base, keep)), msF(meanTotalMS(hotc, keep)),
+			fmt.Sprintf("%d", cold))
+	}
+}
+
+// Fig13 reproduces the linear increasing and decreasing request flows:
+// requests start at two per round and change by two every 30 seconds.
+// Increasing: HotC reuses the previous round's runtimes and only the
+// two newly added requests can cold start (and the adaptive controller
+// pre-warms even those away once the trend is learned). Decreasing:
+// after the first round there is always a warm container available, so
+// latency is always low under HotC.
+func Fig13() *Report {
+	r := NewReport("fig13", "linear increasing and decreasing request flows")
+
+	inc := trace.Linear{Start: 2, Step: 2, Rounds: 10, Interval: 30 * time.Second}
+	baseInc := fig13Run(PolicyCold, inc)
+	hotcInc := fig13Run(PolicyHotC, inc)
+	roundTable(r, "Fig. 13(a) linear increasing (+2 every 30s)", inc.Rounds, baseInc, hotcInc)
+
+	dec := trace.Linear{Start: 20, Step: -2, Rounds: 10, Interval: 30 * time.Second}
+	baseDec := fig13Run(PolicyCold, dec)
+	hotcDec := fig13Run(PolicyHotC, dec)
+	roundTable(r, "Fig. 13(b) linear decreasing (-2 every 30s)", dec.Rounds, baseDec, hotcDec)
+
+	// Quantify the paper's claims.
+	coldLate := 0
+	totalLate := 0
+	for _, res := range hotcInc {
+		if res.Request.Round >= 2 {
+			totalLate++
+			if !res.Reused {
+				coldLate++
+			}
+		}
+	}
+	r.Notef("increasing: %d/%d requests after round 2 cold-started under HotC (paper: at most the +2 new requests per round wait for new runtimes)", coldLate, totalLate)
+
+	decCold := 0
+	for _, res := range hotcDec {
+		if res.Request.Round >= 1 && !res.Reused {
+			decCold++
+		}
+	}
+	r.Notef("decreasing: %d cold starts after round 1 (paper: 'there is always a container available if the requests keep decreasing')", decCold)
+	return r
+}

@@ -1,0 +1,184 @@
+// Package bench contains the experiment drivers that regenerate every
+// figure of the paper's evaluation (§II.C, §III, §V), plus the
+// ablation studies listed in DESIGN.md. Each FigNN function runs the
+// experiment on the deterministic simulation substrate and returns a
+// Report of text tables whose rows mirror the quantities the paper
+// plots; cmd/hotc-bench prints them and bench_test.go wraps them in
+// testing.B benchmarks.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Table is one rendered result table.
+type Table struct {
+	// Title names the table, e.g. "Fig. 4(c) network setup cost".
+	Title string
+	// Headers are the column names.
+	Headers []string
+	// Rows are the data cells, already formatted.
+	Rows [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) && len(c) < widths[i] {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header + rows),
+// ready for external plotting tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.Write(t.Headers)
+	for _, row := range t.Rows {
+		w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// slug converts a table title into a file-name-safe identifier.
+func slug(s string) string {
+	var b strings.Builder
+	lastDash := true
+	for _, c := range strings.ToLower(s) {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			b.WriteRune(c)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// Report is the output of one experiment: tables plus free-form notes
+// comparing measured shapes against the paper's reported numbers.
+type Report struct {
+	// ID is the experiment identifier, e.g. "fig08".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Tables hold the regenerated figure data.
+	Tables []*Table
+	// Notes record paper-vs-measured comparisons.
+	Notes []string
+}
+
+// NewReport creates a report.
+func NewReport(id, title string) *Report {
+	return &Report{ID: id, Title: title}
+}
+
+// NewTable creates, registers and returns a table.
+func (r *Report) NewTable(title string, headers ...string) *Table {
+	t := &Table{Title: title, Headers: headers}
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// Notef appends a formatted note.
+func (r *Report) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteCSV writes every table as "<id>--<table-slug>.csv" in dir,
+// returning the file paths.
+func (r *Report) WriteCSV(dir string) ([]string, error) {
+	var paths []string
+	for i, t := range r.Tables {
+		name := fmt.Sprintf("%s--%s.csv", r.ID, slug(t.Title))
+		if s := slug(t.Title); s == "" {
+			name = fmt.Sprintf("%s--table-%d.csv", r.ID, i)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			return nil, fmt.Errorf("bench: writing %s: %w", path, err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// String renders the whole report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// ms formats a duration as milliseconds with two decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// msF formats a float64 of milliseconds.
+func msF(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// f2 formats with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

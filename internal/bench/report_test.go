@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() *Report {
+	r := NewReport("figXX", "sample experiment")
+	t := r.NewTable("Latency by round", "round", "mean (ms)")
+	t.AddRow("1", "12.50")
+	t.AddRow("2", "3.25")
+	r.Notef("note %d", 1)
+	return r
+}
+
+func TestTableString(t *testing.T) {
+	r := sampleReport()
+	out := r.Tables[0].String()
+	if !strings.Contains(out, "Latency by round") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, header, separator, two rows
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: "round" padded to width of rows.
+	if !strings.HasPrefix(lines[1], "round") {
+		t.Fatalf("header line = %q", lines[1])
+	}
+}
+
+func TestReportString(t *testing.T) {
+	out := sampleReport().String()
+	for _, want := range []string{"== figXX: sample experiment ==", "note: note 1", "12.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	csvOut := sampleReport().Tables[0].CSV()
+	want := "round,mean (ms)\n1,12.50\n2,3.25\n"
+	if csvOut != want {
+		t.Fatalf("CSV = %q, want %q", csvOut, want)
+	}
+}
+
+func TestTableCSVEscapes(t *testing.T) {
+	tab := &Table{Title: "x", Headers: []string{"a,b", "c"}}
+	tab.AddRow(`has "quotes"`, "plain")
+	out := tab.CSV()
+	if !strings.Contains(out, `"a,b"`) || !strings.Contains(out, `"has ""quotes"""`) {
+		t.Fatalf("CSV escaping broken: %q", out)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Fig. 4(c) network setup cost": "fig-4-c-network-setup-cost",
+		"   weird---title!!!   ":       "weird-title",
+		"":                             "",
+		"ABC123":                       "abc123",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := sampleReport().WriteCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+	want := filepath.Join(dir, "figXX--latency-by-round.csv")
+	if paths[0] != want {
+		t.Fatalf("path = %q, want %q", paths[0], want)
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "round,mean (ms)") {
+		t.Fatalf("file content = %q", data)
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if ms(1500*time.Millisecond) != "1500.00" {
+		t.Fatalf("ms = %q", ms(1500*time.Millisecond))
+	}
+	if msF(12.345) != "12.35" {
+		t.Fatalf("msF = %q", msF(12.345))
+	}
+	if pct(0.333) != "33.3%" {
+		t.Fatalf("pct = %q", pct(0.333))
+	}
+	if f2(1.005) == "" {
+		t.Fatal("f2 empty")
+	}
+}

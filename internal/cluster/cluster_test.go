@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"hotc/internal/config"
+	"hotc/internal/trace"
+	"hotc/internal/workload"
+)
+
+func newCluster(t *testing.T, opts Options) *Cluster {
+	t.Helper()
+	opts.PrePull = true
+	c := New(opts)
+	t.Cleanup(c.Close)
+	if err := c.Deploy("qr", config.Runtime{Image: "python:3.8"}, workload.QRApp(workload.Python)); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func serialSchedule(n int, gap time.Duration) []trace.Request {
+	return trace.Serial{Interval: gap, Count: n}.Generate()
+}
+
+func TestRoundRobinSpreads(t *testing.T) {
+	c := newCluster(t, Options{Nodes: 3, Routing: RoundRobin})
+	results, err := c.Run(serialSchedule(9, time.Minute), func(int) string { return "qr" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes() {
+		if n.Served() != 3 {
+			t.Fatalf("%s served %d, want 3", n.Name, n.Served())
+		}
+	}
+	// Round-robin destroys reuse for serial traffic: each revisit may
+	// land on a different node, but with 9 requests and 3 nodes each
+	// node sees 3 — after its first, it reuses.
+	if ReuseRate(results) < 0.5 {
+		t.Fatalf("reuse rate = %v", ReuseRate(results))
+	}
+}
+
+func TestReuseAffinityBeatsRoundRobinOnReuse(t *testing.T) {
+	// Single-threaded serial traffic: affinity should route every
+	// request after the first to the same warm node.
+	aff := newCluster(t, Options{Nodes: 4, Routing: ReuseAffinity})
+	affRes, err := aff.Run(serialSchedule(12, time.Minute), func(int) string { return "qr" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := newCluster(t, Options{Nodes: 4, Routing: RoundRobin})
+	rrRes, err := rr.Run(serialSchedule(12, time.Minute), func(int) string { return "qr" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ReuseRate(affRes) <= ReuseRate(rrRes) {
+		t.Fatalf("affinity reuse %v should beat round-robin %v",
+			ReuseRate(affRes), ReuseRate(rrRes))
+	}
+	if ReuseRate(affRes) < 11.0/12 {
+		t.Fatalf("affinity reuse = %v, want all but the first", ReuseRate(affRes))
+	}
+}
+
+func TestLeastLoadedBalancesParallel(t *testing.T) {
+	c := newCluster(t, Options{Nodes: 3, Routing: LeastLoaded})
+	// 30 simultaneous requests: load counts force an even spread.
+	var schedule []trace.Request
+	for i := 0; i < 30; i++ {
+		schedule = append(schedule, trace.Request{At: 0, Round: 0})
+	}
+	if _, err := c.Run(schedule, func(int) string { return "qr" }); err != nil {
+		t.Fatal(err)
+	}
+	if imb := c.LoadImbalance(); imb > 0.2 {
+		t.Fatalf("least-loaded imbalance = %v", imb)
+	}
+}
+
+func TestAffinityStillBalancesUnderLoad(t *testing.T) {
+	c := newCluster(t, Options{Nodes: 3, Routing: ReuseAffinity})
+	// Heavy parallel rounds: affinity must not funnel everything to
+	// one node once it is saturated (warm count <= inFlight check).
+	sched := trace.Parallel{Threads: 12, Interval: 30 * time.Second, Rounds: 6}.Generate()
+	if _, err := c.Run(sched, func(int) string { return "qr" }); err != nil {
+		t.Fatal(err)
+	}
+	if imb := c.LoadImbalance(); imb > 1.0 {
+		t.Fatalf("affinity imbalance = %v, nodes=%v", imb, servedCounts(c))
+	}
+}
+
+func servedCounts(c *Cluster) []int {
+	var out []int
+	for _, n := range c.Nodes() {
+		out = append(out, n.Served())
+	}
+	return out
+}
+
+func TestNodeFailureRoutesAround(t *testing.T) {
+	c := newCluster(t, Options{Nodes: 3, Routing: ReuseAffinity})
+	if !c.FailNode(0) {
+		t.Fatal("FailNode rejected valid index")
+	}
+	results, err := c.Run(serialSchedule(6, time.Minute), func(int) string { return "qr" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request failed: %v", r.Err)
+		}
+		if r.Node == "node-0" {
+			t.Fatal("request routed to failed node")
+		}
+	}
+	if c.Nodes()[0].Served() != 0 {
+		t.Fatal("failed node served requests")
+	}
+	// Recovery brings it back into rotation.
+	if !c.RecoverNode(0) {
+		t.Fatal("RecoverNode rejected valid index")
+	}
+	c2 := newCluster(t, Options{Nodes: 1, Routing: RoundRobin})
+	if c2.FailNode(5) || c2.RecoverNode(-1) {
+		t.Fatal("out-of-range node indices accepted")
+	}
+}
+
+func TestAllNodesFailed(t *testing.T) {
+	c := newCluster(t, Options{Nodes: 2, Routing: LeastLoaded})
+	c.FailNode(0)
+	c.FailNode(1)
+	results, err := c.Run(serialSchedule(1, time.Second), func(int) string { return "qr" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("request succeeded with all nodes down")
+	}
+}
+
+func TestDeployUnknownImageFails(t *testing.T) {
+	c := New(Options{Nodes: 2})
+	defer c.Close()
+	if err := c.Deploy("x", config.Runtime{Image: "ghost:1"}, workload.QRApp(workload.Go)); err == nil {
+		t.Fatal("unknown image deployed")
+	}
+}
+
+func TestRoutingNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range []Routing{RoundRobin, LeastLoaded, ReuseAffinity} {
+		if s := r.String(); s == "" || seen[s] {
+			t.Fatalf("bad routing name %q", s)
+		} else {
+			seen[s] = true
+		}
+	}
+	if Routing(42).String() == "" {
+		t.Fatal("unknown routing should render")
+	}
+}
+
+func TestReuseRateEmpty(t *testing.T) {
+	if ReuseRate(nil) != 0 {
+		t.Fatal("empty reuse rate != 0")
+	}
+}
+
+func TestMultipleFunctionsIndependentAffinity(t *testing.T) {
+	c := newCluster(t, Options{Nodes: 3, Routing: ReuseAffinity})
+	if err := c.Deploy("qr2", config.Runtime{Image: "node:10"}, workload.QRApp(workload.Node)); err != nil {
+		t.Fatal(err)
+	}
+	var schedule []trace.Request
+	for i := 0; i < 12; i++ {
+		schedule = append(schedule, trace.Request{At: time.Duration(i) * time.Minute, Class: i % 2, Round: i})
+	}
+	results, err := c.Run(schedule, func(cl int) string {
+		if cl == 0 {
+			return "qr"
+		}
+		return "qr2"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each function should reuse after its own first request.
+	if ReuseRate(results) < 10.0/12 {
+		t.Fatalf("reuse rate = %v", ReuseRate(results))
+	}
+}

@@ -1,0 +1,231 @@
+// Package kvstore is a replicated key-value store with quorum reads
+// and writes — the "more reliable architecture, e.g., adopting a
+// distributed key-value store" the paper's §VII proposes for the pool
+// index. Values are versioned with a logical clock; a write replicates
+// to W replicas, a read consults R replicas and returns the freshest
+// version, so with R+W > N every read observes the latest committed
+// write even with up to N-max(R,W) replicas down.
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Versioned is a value with its logical version.
+type Versioned struct {
+	// Value is the stored payload.
+	Value string
+	// Version is the logical timestamp; higher wins.
+	Version uint64
+	// Tombstone marks a deletion.
+	Tombstone bool
+}
+
+// replica is one storage node.
+type replica struct {
+	name string
+	mu   sync.Mutex
+	data map[string]Versioned
+	up   bool
+}
+
+func (r *replica) put(key string, v Versioned) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.up {
+		return false
+	}
+	cur, ok := r.data[key]
+	if !ok || v.Version > cur.Version {
+		r.data[key] = v
+	}
+	return true
+}
+
+func (r *replica) get(key string) (Versioned, bool, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.up {
+		return Versioned{}, false, false
+	}
+	v, ok := r.data[key]
+	return v, ok, true
+}
+
+// Store is the replicated store client view.
+type Store struct {
+	mu       sync.Mutex
+	replicas []*replica
+	readQ    int
+	writeQ   int
+	clock    uint64
+}
+
+// New creates a store with n replicas and the given read/write quorum
+// sizes. It panics unless 1 <= r, w <= n and r+w > n (the quorum
+// intersection requirement).
+func New(n, r, w int) *Store {
+	if n < 1 || r < 1 || w < 1 || r > n || w > n {
+		panic(fmt.Sprintf("kvstore: invalid quorum config n=%d r=%d w=%d", n, r, w))
+	}
+	if r+w <= n {
+		panic(fmt.Sprintf("kvstore: r+w must exceed n for consistency (n=%d r=%d w=%d)", n, r, w))
+	}
+	s := &Store{readQ: r, writeQ: w}
+	for i := 0; i < n; i++ {
+		s.replicas = append(s.replicas, &replica{
+			name: fmt.Sprintf("replica-%d", i),
+			data: make(map[string]Versioned),
+			up:   true,
+		})
+	}
+	return s
+}
+
+// Replicas reports the replica count.
+func (s *Store) Replicas() int { return len(s.replicas) }
+
+// SetUp marks replica i as up or down (failure injection).
+func (s *Store) SetUp(i int, up bool) {
+	r := s.replicas[i]
+	r.mu.Lock()
+	r.up = up
+	r.mu.Unlock()
+}
+
+// UpCount reports how many replicas are currently up.
+func (s *Store) UpCount() int {
+	n := 0
+	for _, r := range s.replicas {
+		r.mu.Lock()
+		if r.up {
+			n++
+		}
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// ErrQuorum is returned when too few replicas acknowledge an
+// operation.
+type ErrQuorum struct {
+	Op   string
+	Got  int
+	Need int
+}
+
+// Error implements error.
+func (e ErrQuorum) Error() string {
+	return fmt.Sprintf("kvstore: %s quorum not reached (%d/%d)", e.Op, e.Got, e.Need)
+}
+
+// Put writes key=value to a write quorum. The write targets every
+// replica but succeeds once W acknowledge.
+func (s *Store) Put(key, value string) error {
+	return s.write(key, value, false)
+}
+
+// Delete removes a key via a tombstone write.
+func (s *Store) Delete(key string) error {
+	return s.write(key, "", true)
+}
+
+func (s *Store) write(key, value string, tombstone bool) error {
+	s.mu.Lock()
+	s.clock++
+	v := Versioned{Value: value, Version: s.clock, Tombstone: tombstone}
+	s.mu.Unlock()
+
+	acks := 0
+	for _, r := range s.replicas {
+		if r.put(key, v) {
+			acks++
+		}
+	}
+	if acks < s.writeQ {
+		return ErrQuorum{Op: "write", Got: acks, Need: s.writeQ}
+	}
+	return nil
+}
+
+// Get reads key from a read quorum and returns the freshest version.
+// ok is false when the key is absent (or deleted).
+func (s *Store) Get(key string) (value string, ok bool, err error) {
+	responses := 0
+	var best Versioned
+	found := false
+	for _, r := range s.replicas {
+		v, has, alive := r.get(key)
+		if !alive {
+			continue
+		}
+		responses++
+		if has && (!found || v.Version > best.Version) {
+			best = v
+			found = true
+		}
+	}
+	if responses < s.readQ {
+		return "", false, ErrQuorum{Op: "read", Got: responses, Need: s.readQ}
+	}
+	if !found || best.Tombstone {
+		return "", false, nil
+	}
+	return best.Value, true, nil
+}
+
+// Keys returns all live keys visible to a read quorum, sorted.
+func (s *Store) Keys() ([]string, error) {
+	responses := 0
+	merged := map[string]Versioned{}
+	for _, r := range s.replicas {
+		r.mu.Lock()
+		if !r.up {
+			r.mu.Unlock()
+			continue
+		}
+		responses++
+		for k, v := range r.data {
+			if cur, ok := merged[k]; !ok || v.Version > cur.Version {
+				merged[k] = v
+			}
+		}
+		r.mu.Unlock()
+	}
+	if responses < s.readQ {
+		return nil, ErrQuorum{Op: "read", Got: responses, Need: s.readQ}
+	}
+	var keys []string
+	for k, v := range merged {
+		if !v.Tombstone {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Repair copies the freshest version of every key to all live
+// replicas (anti-entropy), healing replicas that were down during
+// writes.
+func (s *Store) Repair() {
+	merged := map[string]Versioned{}
+	for _, r := range s.replicas {
+		r.mu.Lock()
+		if r.up {
+			for k, v := range r.data {
+				if cur, ok := merged[k]; !ok || v.Version > cur.Version {
+					merged[k] = v
+				}
+			}
+		}
+		r.mu.Unlock()
+	}
+	for k, v := range merged {
+		for _, r := range s.replicas {
+			r.put(k, v)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package core implements HotC itself (§IV): the middleware between
+// clients and backend that maintains the live container runtime pool,
+// reuses runtimes on request (Algorithm 1), cleans used containers
+// back into the pool (Algorithm 2), and runs the adaptive live
+// container control loop (Algorithm 3) that combines exponential
+// smoothing with a Markov chain to pre-warm predicted demand and
+// retire excess runtimes.
+//
+// HotC satisfies the faas.Provider interface, so the same gateway can
+// run with HotC or any baseline policy.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hotc/internal/config"
+	"hotc/internal/container"
+	"hotc/internal/metrics"
+	"hotc/internal/pool"
+	"hotc/internal/predictor"
+	"hotc/internal/simclock"
+	"hotc/internal/workload"
+)
+
+// Options configure the HotC middleware.
+type Options struct {
+	// Pool configures the runtime pool (caps, memory threshold,
+	// relaxed matching).
+	Pool pool.Options
+	// Interval is the control-loop period; each tick observes demand
+	// and adjusts the pool. Default 10s.
+	Interval time.Duration
+	// NewPredictor constructs the per-runtime-type demand predictor.
+	// Default: the paper's combined ES+Markov with α = 0.8. Swapping
+	// this in ablations gives ES-only or Markov-only control.
+	NewPredictor func() predictor.Predictor
+	// Headroom is added to every prediction before provisioning, as a
+	// fraction (0.1 = +10%). Default 0.
+	Headroom float64
+	// MinWarm keeps at least this many containers per active runtime
+	// type regardless of prediction. Default 0.
+	MinWarm int
+	// RetainIdle keeps one container alive for a runtime type that has
+	// seen a request within this window, even when the prediction
+	// rounds to zero — the pool's reuse-on-request behaviour for
+	// low-rate traffic (Fig. 12a). The cap and memory threshold still
+	// evict under pressure. Default 30 minutes.
+	RetainIdle time.Duration
+	// ScaleDownFrac caps how much of a runtime type's pool may be
+	// retired per control tick, as a fraction of its live containers
+	// (hysteresis). Slow scale-down is what lets recurring bursts find
+	// most of the previous burst's containers still warm (Fig. 14b);
+	// the cap and memory threshold still bound total resource usage.
+	// Default 0.25.
+	ScaleDownFrac float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 10 * time.Second
+	}
+	if o.NewPredictor == nil {
+		o.NewPredictor = func() predictor.Predictor { return predictor.Default() }
+	}
+	if o.RetainIdle <= 0 {
+		o.RetainIdle = 30 * time.Minute
+	}
+	if o.ScaleDownFrac <= 0 || o.ScaleDownFrac > 1 {
+		o.ScaleDownFrac = 0.25
+	}
+	return o
+}
+
+// keyState is the per-runtime-type controller state.
+type keyState struct {
+	spec container.Spec
+	app  workload.App
+	pred predictor.Predictor
+
+	inUse int // currently executing or reserved requests
+	peak  int // max concurrent demand in the current interval
+
+	everUsed    bool
+	lastArrival simclock.Time
+
+	// observed and predicted are the Fig. 10 evaluation series: per
+	// control interval, the real demand and the forecast that HotC had
+	// made for it.
+	observed  metrics.TimeSeries
+	predicted metrics.TimeSeries
+	forecast  float64 // prediction made at the previous tick
+}
+
+// HotC is the runtime-reusing middleware.
+type HotC struct {
+	pool  *pool.Pool
+	sched *simclock.Scheduler
+	opts  Options
+
+	keys    map[config.Key]*keyState
+	stopCtl func()
+}
+
+// New builds HotC over a container engine.
+func New(eng *container.Engine, opts Options) *HotC {
+	if eng == nil {
+		panic("core: New requires an engine")
+	}
+	o := opts.withDefaults()
+	return &HotC{
+		pool:  pool.New(eng, o.Pool),
+		sched: eng.Scheduler(),
+		opts:  o,
+		keys:  make(map[config.Key]*keyState),
+	}
+}
+
+// Pool exposes the underlying runtime pool (reports, tests).
+func (h *HotC) Pool() *pool.Pool { return h.pool }
+
+// Name implements faas.Provider.
+func (h *HotC) Name() string { return "hotc" }
+
+// Register tells HotC which application runs in a runtime type, so the
+// controller can pre-warm it. The gateway calls this at deploy time.
+func (h *HotC) Register(spec container.Spec, app workload.App) error {
+	if err := app.Validate(); err != nil {
+		return fmt.Errorf("core: registering %q: %w", app.Name, err)
+	}
+	key := spec.Key()
+	if _, ok := h.keys[key]; ok {
+		return nil
+	}
+	h.keys[key] = &keyState{spec: spec, app: app, pred: h.opts.NewPredictor()}
+	return nil
+}
+
+// state returns (creating if needed) the per-key state. Unregistered
+// keys get tracked too, but cannot be pre-warmed until an app is known.
+func (h *HotC) state(spec container.Spec) *keyState {
+	key := spec.Key()
+	st, ok := h.keys[key]
+	if !ok {
+		st = &keyState{spec: spec, pred: h.opts.NewPredictor()}
+		h.keys[key] = st
+	}
+	return st
+}
+
+// Acquire implements faas.Provider via Algorithm 1.
+func (h *HotC) Acquire(spec container.Spec, done func(*container.Container, bool, config.Delta, error)) {
+	st := h.state(spec)
+	st.inUse++
+	if st.inUse > st.peak {
+		st.peak = st.inUse
+	}
+	st.everUsed = true
+	st.lastArrival = h.sched.Now()
+	h.pool.Acquire(spec, func(c *container.Container, reused bool, delta config.Delta, err error) {
+		if err != nil {
+			st.inUse--
+			done(nil, false, config.Delta{}, err)
+			return
+		}
+		done(c, reused, delta, nil)
+	})
+}
+
+// Complete implements faas.Provider via Algorithm 2: clean the used
+// container and return it to the pool.
+func (h *HotC) Complete(c *container.Container, spec container.Spec) {
+	if st, ok := h.keys[spec.Key()]; ok && st.inUse > 0 {
+		st.inUse--
+	}
+	h.pool.Release(c, nil)
+}
+
+// Start launches the adaptive control loop (Algorithm 3). Stop halts
+// it.
+func (h *HotC) Start() {
+	if h.stopCtl != nil {
+		panic("core: controller already running")
+	}
+	h.stopCtl = h.sched.Every(h.opts.Interval, h.tick)
+}
+
+// Stop halts the control loop. Safe to call when not running.
+func (h *HotC) Stop() {
+	if h.stopCtl != nil {
+		h.stopCtl()
+		h.stopCtl = nil
+	}
+}
+
+// tick is one control interval: per runtime type, observe the
+// interval's demand, forecast the next interval, and resize the pool
+// towards the forecast.
+func (h *HotC) tick() {
+	now := h.sched.Now()
+	for key, st := range h.keys {
+		demand := float64(st.peak)
+		st.observed.Add(now, demand)
+		st.predicted.Add(now, st.forecast)
+
+		st.pred.Observe(demand)
+		raw := st.pred.Predict()
+		st.forecast = raw
+
+		target := int(math.Ceil(raw * (1 + h.opts.Headroom)))
+		if target < h.opts.MinWarm {
+			target = h.opts.MinWarm
+		}
+		if target < st.inUse {
+			target = st.inUse // never scale below what is executing
+		}
+		// Recently used runtime types keep one warm container even when
+		// the forecast rounds to zero, so low-rate traffic (one request
+		// per tens of seconds) still reuses — the paper's Fig. 12(a)
+		// behaviour. The cap and memory threshold remain the backstop.
+		if target == 0 && st.everUsed && now-st.lastArrival <= h.opts.RetainIdle {
+			target = 1
+		}
+
+		live := h.pool.NumLive(key)
+		switch {
+		case target > live && st.app.Name != "":
+			h.pool.Prewarm(st.spec, st.app, target-live, nil)
+		case target < live:
+			// Hysteresis: retire at most ScaleDownFrac of the live set
+			// per tick (but always at least one), so a recurring burst
+			// finds most of the previous burst's runtimes warm.
+			excess := live - target
+			cap := int(math.Ceil(float64(live) * h.opts.ScaleDownFrac))
+			if excess > cap {
+				excess = cap
+			}
+			h.pool.Retire(key, excess)
+		}
+		st.peak = st.inUse // restart the interval's peak tracking
+	}
+}
+
+// PredictionTrace returns the observed and predicted demand series for
+// a runtime type (Fig. 10). The boolean reports whether the key is
+// known.
+func (h *HotC) PredictionTrace(key config.Key) (observed, predicted *metrics.TimeSeries, ok bool) {
+	st, found := h.keys[key]
+	if !found {
+		return nil, nil, false
+	}
+	return &st.observed, &st.predicted, true
+}
+
+// LiveByKey reports the current number of live containers per key.
+func (h *HotC) LiveByKey() map[config.Key]int {
+	out := make(map[config.Key]int, len(h.keys))
+	for key := range h.keys {
+		if n := h.pool.NumLive(key); n > 0 {
+			out[key] = n
+		}
+	}
+	return out
+}

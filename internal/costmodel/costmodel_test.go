@@ -1,0 +1,131 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hotc/internal/rng"
+)
+
+func TestProfiles(t *testing.T) {
+	s := Server()
+	p := EdgePi()
+	if s.Name != "server" || p.Name != "edge-pi" {
+		t.Fatal("profile names wrong")
+	}
+	// Paper §V.B: edge execution is ~10x server execution.
+	if p.ExecScale < 8 || p.ExecScale > 12 {
+		t.Fatalf("EdgePi ExecScale = %v, want ~10", p.ExecScale)
+	}
+	if s.TotalMemoryMB <= p.TotalMemoryMB {
+		t.Fatal("server must have more memory than the Pi")
+	}
+	if s.CPUCores <= p.CPUCores {
+		t.Fatal("server must have more cores than the Pi")
+	}
+}
+
+func TestDefaultsAnchors(t *testing.T) {
+	c := Defaults()
+	// Fig. 15(a): ~0.7 MB per idle live container, <1% CPU for ten.
+	if c.IdleContainerMemMB != 0.7 {
+		t.Fatalf("IdleContainerMemMB = %v, want 0.7", c.IdleContainerMemMB)
+	}
+	if c.IdleContainerCPUPct*10 >= 1 {
+		t.Fatalf("ten idle containers should cost <1%% CPU, got %v%%", c.IdleContainerCPUPct*10)
+	}
+	if c.ExecColdFactor <= 1 {
+		t.Fatal("cold execution must be slower than warm")
+	}
+}
+
+func TestScaling(t *testing.T) {
+	server := New(Server())
+	pi := New(EdgePi())
+	if pi.EngineSetupCost() <= server.EngineSetupCost() {
+		t.Fatal("engine setup should be slower on the Pi")
+	}
+	if pi.ExecCost(time.Second) != 10*time.Second {
+		t.Fatalf("Pi exec of 1s = %v, want 10s", pi.ExecCost(time.Second))
+	}
+	if server.ExecCost(time.Second) != time.Second {
+		t.Fatal("server exec scale must be identity")
+	}
+}
+
+func TestPullUnpackProportionalToSize(t *testing.T) {
+	m := New(Server())
+	if m.PullCost(10) != 10*m.PullCost(1) {
+		t.Fatal("pull cost not linear in size")
+	}
+	if m.UnpackCost(0) != 0 {
+		t.Fatal("unpacking nothing should be free")
+	}
+	if m.PullCost(100) <= m.UnpackCost(100) {
+		t.Fatal("pulling should cost more than unpacking (network vs disk)")
+	}
+}
+
+func TestColdExecPenalty(t *testing.T) {
+	m := New(Server())
+	warm := m.ExecCost(time.Second)
+	cold := m.ColdExecCost(time.Second)
+	if cold <= warm {
+		t.Fatal("cold exec must exceed warm exec")
+	}
+	// The penalty is a cache/TLB effect, small relative to init costs.
+	if float64(cold) > 1.25*float64(warm) {
+		t.Fatalf("cold penalty too large: %v vs %v", cold, warm)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	m := New(Server())
+	src := rng.New(5)
+	for i := 0; i < 1000; i++ {
+		d := m.Jitter(100*time.Millisecond, func() float64 { return src.Norm(0, 1) })
+		if d < 0 {
+			t.Fatalf("negative jittered duration %v", d)
+		}
+	}
+}
+
+func TestJitterDisabled(t *testing.T) {
+	c := Defaults()
+	c.JitterFrac = 0
+	m := NewWith(c, Server())
+	if got := m.Jitter(time.Second, func() float64 { return 100 }); got != time.Second {
+		t.Fatalf("disabled jitter changed duration: %v", got)
+	}
+	m2 := New(Server())
+	if got := m2.Jitter(time.Second, nil); got != time.Second {
+		t.Fatalf("nil sampler should be a no-op, got %v", got)
+	}
+}
+
+func TestJitterExtremeSampleClamped(t *testing.T) {
+	m := New(Server())
+	// A -100 sigma draw must clamp rather than go negative.
+	if d := m.Jitter(time.Second, func() float64 { return -100 }); d <= 0 {
+		t.Fatalf("extreme negative sample produced %v", d)
+	}
+}
+
+// Property: all stage costs are non-negative and monotone in profile
+// scale factors.
+func TestPropertyStageCostsNonNegative(t *testing.T) {
+	f := func(execScale, initScale uint8, base uint16) bool {
+		p := Server()
+		p.ExecScale = 1 + float64(execScale%50)
+		p.InitScale = 1 + float64(initScale%50)
+		m := New(p)
+		d := time.Duration(base) * time.Millisecond
+		return m.ExecCost(d) >= d && m.InitCost(d) >= d &&
+			m.ColdExecCost(d) >= m.ExecCost(d) &&
+			m.PullCost(float64(base)) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,365 @@
+// Package faas implements the serverless request pipeline of the
+// paper's §III analysis: clients send requests to a gateway, which
+// forwards them to a per-function watchdog (the "tiny Golang HTTP
+// server" of OpenFaaS) that pipes the request into the function
+// process and returns the response. The pipeline records the six
+// workflow moments of §III.A:
+//
+//	(1) request arrives at the gateway
+//	(2) request reaches the watchdog
+//	(3) function process starts executing
+//	(4) function process stops
+//	(5) response leaves the watchdog
+//	(6) client receives the response
+//
+// The gap (2)->(3) — function initiation — is where cold start lives
+// and is what the paper finds dominating total latency.
+//
+// How the backend obtains a container runtime is pluggable through the
+// Provider interface; the policy package supplies the industry
+// baselines and the core package supplies HotC.
+package faas
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hotc/internal/config"
+	"hotc/internal/container"
+	"hotc/internal/simclock"
+	"hotc/internal/trace"
+	"hotc/internal/workload"
+)
+
+// Function is a deployed serverless function: a runtime configuration
+// plus the application logic that runs inside it.
+type Function struct {
+	// Name identifies the function at the gateway.
+	Name string
+	// Runtime is the container configuration the function executes in.
+	Runtime config.Runtime
+	// App is the workload model.
+	App workload.App
+	// MaxConcurrency caps simultaneous executions of this function;
+	// excess requests queue FIFO at the gateway (0 = unlimited). This
+	// models per-function scale limits of real FaaS platforms.
+	MaxConcurrency int
+}
+
+// Provider supplies container runtimes to the gateway. Implementations
+// decide whether to reuse (HotC, keep-alive baselines) or cold start
+// every time (the default behaviour the paper compares against).
+type Provider interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Acquire obtains a runtime for the spec. reused reports whether
+	// an existing live container was handed out; delta carries
+	// exec-time adjustments for relaxed matches.
+	Acquire(spec container.Spec, done func(c *container.Container, reused bool, delta config.Delta, err error))
+	// Complete is invoked after the response is sent; the provider
+	// decides whether to clean and keep the container or stop it.
+	Complete(c *container.Container, spec container.Spec)
+}
+
+// Timestamps are the six measured moments, as virtual times.
+type Timestamps struct {
+	GatewayIn   simclock.Time // (1)
+	WatchdogIn  simclock.Time // (2)
+	FuncStart   simclock.Time // (3)
+	FuncStop    simclock.Time // (4)
+	WatchdogOut simclock.Time // (5)
+	ClientOut   simclock.Time // (6)
+}
+
+// Total is the end-to-end latency the client observes.
+func (ts Timestamps) Total() time.Duration { return ts.ClientOut - ts.GatewayIn }
+
+// Initiation is the (2)->(3) gap: container acquisition plus function
+// initialisation — the cold-start component.
+func (ts Timestamps) Initiation() time.Duration { return ts.FuncStart - ts.WatchdogIn }
+
+// Execution is the (3)->(4) gap.
+func (ts Timestamps) Execution() time.Duration { return ts.FuncStop - ts.FuncStart }
+
+// Forwarding is the network/proxy time: everything outside
+// initiation and execution.
+func (ts Timestamps) Forwarding() time.Duration {
+	return ts.Total() - ts.Initiation() - ts.Execution()
+}
+
+// Result is the outcome of one request.
+type Result struct {
+	// Request is the originating trace entry.
+	Request trace.Request
+	// Function is the function that served it.
+	Function string
+	// Timestamps are the six measured moments.
+	Timestamps Timestamps
+	// Reused reports whether a live container was reused.
+	Reused bool
+	// Err is non-nil if the request failed.
+	Err error
+}
+
+// Gateway is the entry point: it resolves functions, obtains runtimes
+// from the provider and drives executions on the simulation scheduler.
+type Gateway struct {
+	sched    *simclock.Scheduler
+	eng      *container.Engine
+	provider Provider
+
+	functions map[string]Function
+	specs     map[string]container.Spec
+
+	inFlight map[string]int
+	waiting  map[string][]func()
+	// QueuedPeak tracks the maximum queue depth seen per function.
+	queuedPeak map[string]int
+
+	// MaxAcquireRetries is how many times a failed runtime acquisition
+	// is retried before the request fails (transient engine errors —
+	// momentary resource exhaustion, registry hiccups — usually clear
+	// within a backoff). Default 1.
+	MaxAcquireRetries int
+	// RetryBackoff is the delay before each retry. Default 100ms.
+	RetryBackoff time.Duration
+
+	retries int
+}
+
+// Retries reports how many acquire retries the gateway has performed.
+func (g *Gateway) Retries() int { return g.retries }
+
+// NewGateway builds a gateway over the engine with the given runtime
+// provider.
+func NewGateway(eng *container.Engine, provider Provider) *Gateway {
+	if eng == nil || provider == nil {
+		panic("faas: NewGateway requires engine and provider")
+	}
+	return &Gateway{
+		sched:             eng.Scheduler(),
+		eng:               eng,
+		provider:          provider,
+		functions:         make(map[string]Function),
+		specs:             make(map[string]container.Spec),
+		inFlight:          make(map[string]int),
+		waiting:           make(map[string][]func()),
+		queuedPeak:        make(map[string]int),
+		MaxAcquireRetries: 1,
+		RetryBackoff:      100 * time.Millisecond,
+	}
+}
+
+// QueuedPeak reports the maximum gateway queue depth observed for a
+// concurrency-limited function.
+func (g *Gateway) QueuedPeak(name string) int { return g.queuedPeak[name] }
+
+// admit runs start immediately if the function has a free concurrency
+// slot, otherwise enqueues it.
+func (g *Gateway) admit(fn Function, start func()) {
+	if fn.MaxConcurrency <= 0 || g.inFlight[fn.Name] < fn.MaxConcurrency {
+		g.inFlight[fn.Name]++
+		start()
+		return
+	}
+	g.waiting[fn.Name] = append(g.waiting[fn.Name], start)
+	if depth := len(g.waiting[fn.Name]); depth > g.queuedPeak[fn.Name] {
+		g.queuedPeak[fn.Name] = depth
+	}
+}
+
+// releaseSlot frees a concurrency slot and starts the next queued
+// request, if any.
+func (g *Gateway) releaseSlot(name string) {
+	g.inFlight[name]--
+	if q := g.waiting[name]; len(q) > 0 {
+		next := q[0]
+		g.waiting[name] = q[1:]
+		g.inFlight[name]++
+		next()
+	}
+}
+
+// Provider returns the gateway's runtime provider.
+func (g *Gateway) Provider() Provider { return g.provider }
+
+// Deploy registers a function. The runtime must resolve against the
+// engine's registry.
+func (g *Gateway) Deploy(fn Function, reg SpecResolver) error {
+	if fn.Name == "" {
+		return fmt.Errorf("faas: function needs a name")
+	}
+	if err := fn.App.Validate(); err != nil {
+		return err
+	}
+	spec, err := reg.Resolve(fn.Runtime)
+	if err != nil {
+		return fmt.Errorf("faas: deploying %q: %w", fn.Name, err)
+	}
+	g.functions[fn.Name] = fn
+	g.specs[fn.Name] = spec
+	return nil
+}
+
+// SpecResolver resolves runtime configurations to specs; the image
+// registry satisfies it through ResolverFunc.
+type SpecResolver interface {
+	Resolve(rt config.Runtime) (container.Spec, error)
+}
+
+// ResolverFunc adapts a function to SpecResolver.
+type ResolverFunc func(rt config.Runtime) (container.Spec, error)
+
+// Resolve implements SpecResolver.
+func (f ResolverFunc) Resolve(rt config.Runtime) (container.Spec, error) { return f(rt) }
+
+// Functions returns the deployed function names, sorted.
+func (g *Gateway) Functions() []string {
+	names := make([]string, 0, len(g.functions))
+	for n := range g.functions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Spec returns the resolved spec of a deployed function.
+func (g *Gateway) Spec(name string) (container.Spec, bool) {
+	s, ok := g.specs[name]
+	return s, ok
+}
+
+// Handle processes one request for the named function, invoking done
+// with the full timestamp record when the response reaches the client.
+// It must be called on the scheduler goroutine at the request's
+// arrival time.
+func (g *Gateway) Handle(name string, req trace.Request, done func(Result)) {
+	if done == nil {
+		panic("faas: Handle requires a completion callback")
+	}
+	fn, ok := g.functions[name]
+	if !ok {
+		done(Result{Request: req, Function: name, Err: fmt.Errorf("faas: unknown function %q", name)})
+		return
+	}
+
+	var ts Timestamps
+	ts.GatewayIn = g.sched.Now() // queue time counts into the latency
+	finish := func(r Result) {
+		g.releaseSlot(name)
+		done(r)
+	}
+	fail := func(err error) {
+		finish(Result{Request: req, Function: name, Timestamps: ts, Err: err})
+	}
+
+	g.admit(fn, func() {
+		g.handleAdmitted(fn, req, ts, finish, fail)
+	})
+}
+
+// handleAdmitted drives an admitted request through the pipeline.
+func (g *Gateway) handleAdmitted(fn Function, req trace.Request, ts Timestamps, finish func(Result), fail func(error)) {
+	name := fn.Name
+	spec := g.specs[name]
+
+	// (1) -> gateway proxies the request towards the backend. The
+	// provider hands over a runtime; for a cold start the boot happens
+	// inside Acquire, i.e. between (1) and (2) the request is waiting
+	// for the backend to scale from zero. Transient acquisition
+	// failures are retried with a backoff.
+	var acquire func(attempt int)
+	acquire = func(attempt int) {
+		g.provider.Acquire(spec, func(c *container.Container, reused bool, delta config.Delta, err error) {
+			if err != nil {
+				if attempt < g.MaxAcquireRetries {
+					g.retries++
+					g.sched.After(g.RetryBackoff, func() { acquire(attempt + 1) })
+					return
+				}
+				fail(err)
+				return
+			}
+			// Relaxed matches apply their exec-time delta first.
+			adjust := time.Duration(0)
+			if !delta.Empty() {
+				adjust = g.eng.Model().DeltaApplyCost()
+			}
+			g.sched.After(adjust, func() {
+				ts.WatchdogIn = g.sched.Now()
+				initPhase, execPhase := g.eng.ExecPhases(c, fn.App)
+				g.eng.Exec(c, fn.App, func(actual time.Duration, err error) {
+					if err != nil {
+						g.provider.Complete(c, spec)
+						fail(err)
+						return
+					}
+					// Apportion the (possibly jittered) actual duration
+					// over the nominal phases to place (3) and (4).
+					ts.FuncStop = g.sched.Now()
+					nominal := initPhase + execPhase
+					execShare := execPhase
+					if nominal > 0 {
+						execShare = time.Duration(float64(actual) * float64(execPhase) / float64(nominal))
+					}
+					ts.FuncStart = ts.FuncStop - execShare
+					// (4) -> (5): watchdog copies the response out.
+					g.sched.After(g.eng.Model().WatchdogShimCost(), func() {
+						ts.WatchdogOut = g.sched.Now()
+						// (5) -> (6): gateway returns to the client.
+						g.sched.After(g.eng.Model().GatewayForwardCost(), func() {
+							ts.ClientOut = g.sched.Now()
+							g.provider.Complete(c, spec)
+							finish(Result{
+								Request:    req,
+								Function:   name,
+								Timestamps: ts,
+								Reused:     reused,
+							})
+						})
+					})
+				})
+			})
+		})
+	}
+	g.sched.After(g.eng.Model().GatewayForwardCost(), func() { acquire(0) })
+}
+
+// Run replays a request schedule against the gateway: request classes
+// are mapped to function names by classFn, all arrivals are scheduled,
+// and the simulation is stepped until every response has been
+// delivered. Stepping (rather than draining the queue) lets periodic
+// provider machinery — control loops, warm-up pingers — keep running
+// without deadlocking the replay. Results are returned in arrival
+// order.
+func Run(g *Gateway, schedule []trace.Request, classFn func(class int) string) ([]Result, error) {
+	results := make([]Result, len(schedule))
+	remaining := len(schedule)
+	base := g.sched.Now()
+	for i, req := range schedule {
+		i, req := i, req
+		g.sched.At(base+req.At, func() {
+			g.Handle(classFn(req.Class), req, func(r Result) {
+				results[i] = r
+				remaining--
+			})
+		})
+	}
+	for remaining > 0 {
+		if !g.sched.Step() {
+			return nil, fmt.Errorf("faas: scheduler drained with %d requests outstanding", remaining)
+		}
+	}
+	// Settle: let post-response housekeeping (container teardown,
+	// volume cleanup) that the provider scheduled finish before
+	// returning, so callers observe a quiescent engine.
+	if err := g.sched.RunUntil(g.sched.Now() + settleWindow); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// settleWindow bounds the post-replay housekeeping time; it is far
+// beyond any teardown cost on any profile.
+const settleWindow = 10 * time.Second

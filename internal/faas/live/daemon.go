@@ -1,0 +1,237 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PoolConfig tunes the daemon gateway's warm-instance management,
+// mirroring the simulated pool's knobs on the real-socket path.
+type PoolConfig struct {
+	// IdleTTL stops instances idle longer than this (0 = keep forever).
+	IdleTTL time.Duration
+	// MaxIdlePerFunction caps warm instances per function (0 = no cap).
+	MaxIdlePerFunction int
+	// ReapInterval is how often the reaper scans (default 1s when a
+	// TTL is set).
+	ReapInterval time.Duration
+}
+
+// Daemon is the long-running HotC gateway server: the live gateway
+// plus idle-instance reaping and an HTTP management API.
+//
+// Routes:
+//
+//	POST /function/{name}          invoke a function
+//	GET  /system/functions         list deployed functions
+//	POST /system/functions         deploy {"name","handler","coldStartMs"}
+//	GET  /system/stats             gateway counters and warm pool sizes
+//
+// Handlers are chosen from a built-in registry by name (this is a
+// demonstration daemon; it does not execute arbitrary code).
+type Daemon struct {
+	gw  *Gateway
+	cfg PoolConfig
+
+	mu       sync.Mutex
+	deployed []string
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// Builtin handler names deployable through the API.
+func Builtins() []string { return []string{"echo", "qr", "upper", "wordcount"} }
+
+func builtinHandler(name string) (Handler, error) {
+	switch name {
+	case "echo":
+		return func(b []byte) ([]byte, error) { return b, nil }, nil
+	case "upper":
+		return func(b []byte) ([]byte, error) { return []byte(strings.ToUpper(string(b))), nil }, nil
+	case "wordcount":
+		return func(b []byte) ([]byte, error) {
+			return []byte(fmt.Sprintf("%d", len(strings.Fields(string(b))))), nil
+		}, nil
+	case "qr":
+		return func(b []byte) ([]byte, error) {
+			s := strings.TrimSpace(string(b))
+			if s == "" {
+				return nil, fmt.Errorf("empty input")
+			}
+			return []byte("QR(" + s + ")"), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("live: unknown builtin handler %q (have %v)", name, Builtins())
+	}
+}
+
+// NewDaemon wraps a reusing gateway with pool management.
+func NewDaemon(cfg PoolConfig) *Daemon {
+	if cfg.ReapInterval <= 0 {
+		cfg.ReapInterval = time.Second
+	}
+	return &Daemon{
+		gw:     NewGateway(true),
+		cfg:    cfg,
+		stopCh: make(chan struct{}),
+	}
+}
+
+// DeploySpec is the management-API deployment payload.
+type DeploySpec struct {
+	// Name routes requests.
+	Name string `json:"name"`
+	// Handler is a builtin handler name; see Builtins.
+	Handler string `json:"handler"`
+	// ColdStartMs is the artificial instance boot delay.
+	ColdStartMs int `json:"coldStartMs"`
+}
+
+// Deploy registers a function from a spec.
+func (d *Daemon) Deploy(spec DeploySpec) error {
+	h, err := builtinHandler(spec.Handler)
+	if err != nil {
+		return err
+	}
+	if spec.ColdStartMs < 0 {
+		return fmt.Errorf("live: negative cold start")
+	}
+	if err := d.gw.Register(Function{
+		Name:      spec.Name,
+		Handler:   h,
+		ColdStart: time.Duration(spec.ColdStartMs) * time.Millisecond,
+	}); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.deployed = append(d.deployed, spec.Name)
+	sort.Strings(d.deployed)
+	d.mu.Unlock()
+	return nil
+}
+
+// Start binds the daemon to a random loopback port and begins the
+// reaper. It returns the base URL.
+func (d *Daemon) Start() (string, error) {
+	return d.StartOn("127.0.0.1:0")
+}
+
+// StartOn binds the daemon to an explicit address.
+func (d *Daemon) StartOn(addr string) (string, error) {
+	base, err := d.gw.startOn(addr, d.routes())
+	if err != nil {
+		return "", err
+	}
+	d.wg.Add(1)
+	go d.reaper()
+	return base, nil
+}
+
+// Stop shuts down the HTTP server, the reaper and all warm instances.
+func (d *Daemon) Stop() {
+	close(d.stopCh)
+	d.wg.Wait()
+	d.gw.Stop()
+}
+
+// Stats reports gateway counters.
+func (d *Daemon) Stats() Stats { return d.gw.Stats() }
+
+// WarmInstances reports the warm pool size for a function.
+func (d *Daemon) WarmInstances(name string) int { return d.gw.WarmInstances(name) }
+
+func (d *Daemon) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/function/", d.gw.handle)
+	mux.HandleFunc("/system/functions", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			d.mu.Lock()
+			names := append([]string(nil), d.deployed...)
+			d.mu.Unlock()
+			writeJSON(w, names)
+		case http.MethodPost:
+			var spec DeploySpec
+			if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := d.Deploy(spec); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.WriteHeader(http.StatusAccepted)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/system/stats", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		names := append([]string(nil), d.deployed...)
+		d.mu.Unlock()
+		warm := map[string]int{}
+		for _, n := range names {
+			warm[n] = d.gw.WarmInstances(n)
+		}
+		writeJSON(w, struct {
+			Stats Stats          `json:"stats"`
+			Warm  map[string]int `json:"warmInstances"`
+		}{d.gw.Stats(), warm})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// reaper periodically enforces IdleTTL and MaxIdlePerFunction against
+// the gateway's warm pool.
+func (d *Daemon) reaper() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.cfg.ReapInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		case <-ticker.C:
+			d.reapOnce(time.Now())
+		}
+	}
+}
+
+// reapOnce applies the pool policy once; tests call it with
+// deterministic now values.
+func (d *Daemon) reapOnce(now time.Time) {
+	d.gw.mu.Lock()
+	defer d.gw.mu.Unlock()
+	for name, list := range d.gw.idle {
+		keep := make([]*instance, 0, len(list))
+		for _, inst := range list {
+			if d.cfg.IdleTTL > 0 && now.Sub(inst.idleSince) >= d.cfg.IdleTTL {
+				go inst.stop()
+				continue
+			}
+			keep = append(keep, inst)
+		}
+		// Cap: drop the oldest idle instances beyond the limit (the
+		// gateway reuses from the tail, so the head is oldest).
+		if d.cfg.MaxIdlePerFunction > 0 && len(keep) > d.cfg.MaxIdlePerFunction {
+			drop := len(keep) - d.cfg.MaxIdlePerFunction
+			for _, inst := range keep[:drop] {
+				go inst.stop()
+			}
+			keep = keep[drop:]
+		}
+		d.gw.idle[name] = keep
+	}
+}

@@ -1,0 +1,195 @@
+package live
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startDaemon(t *testing.T, cfg PoolConfig) (*Daemon, string) {
+	t.Helper()
+	d := NewDaemon(cfg)
+	base, err := d.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	return d, base
+}
+
+func postJSON(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestDaemonDeployAndInvokeOverHTTP(t *testing.T) {
+	_, base := startDaemon(t, PoolConfig{})
+	resp := postJSON(t, base+"/system/functions", `{"name":"up","handler":"upper","coldStartMs":5}`)
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("deploy status %d: %s", resp.StatusCode, b)
+	}
+
+	inv := postJSON(t, base+"/function/up", `hello`)
+	body, _ := io.ReadAll(inv.Body)
+	if inv.StatusCode != http.StatusOK || string(body) != "HELLO" {
+		t.Fatalf("invoke = %d %q", inv.StatusCode, body)
+	}
+
+	// Listing shows the function.
+	lst, err := http.Get(base + "/system/functions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lst.Body.Close()
+	var names []string
+	if err := json.NewDecoder(lst.Body).Decode(&names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "up" {
+		t.Fatalf("functions = %v", names)
+	}
+}
+
+func TestDaemonStatsEndpoint(t *testing.T) {
+	d, base := startDaemon(t, PoolConfig{})
+	if err := d.Deploy(DeploySpec{Name: "echo", Handler: "echo"}); err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, base+"/function/echo", "x")
+	postJSON(t, base+"/function/echo", "y")
+
+	resp, err := http.Get(base + "/system/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Stats Stats          `json:"stats"`
+		Warm  map[string]int `json:"warmInstances"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Requests != 2 || got.Stats.ColdStarts != 1 || got.Stats.Reused != 1 {
+		t.Fatalf("stats = %+v", got.Stats)
+	}
+	if got.Warm["echo"] != 1 {
+		t.Fatalf("warm = %v", got.Warm)
+	}
+}
+
+func TestDaemonDeployValidation(t *testing.T) {
+	d, base := startDaemon(t, PoolConfig{})
+	cases := []string{
+		`{"name":"x","handler":"teleport"}`,
+		`{"name":"x","handler":"echo","coldStartMs":-1}`,
+		`{"name":"","handler":"echo"}`,
+		`not json`,
+	}
+	for _, body := range cases {
+		resp := postJSON(t, base+"/system/functions", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("deploy %q status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if err := d.Deploy(DeploySpec{Name: "ok", Handler: "wordcount"}); err != nil {
+		t.Fatal(err)
+	}
+	inv := postJSON(t, base+"/function/ok", "a b c")
+	body, _ := io.ReadAll(inv.Body)
+	if string(body) != "3" {
+		t.Fatalf("wordcount = %q", body)
+	}
+}
+
+func TestDaemonMethodNotAllowed(t *testing.T) {
+	_, base := startDaemon(t, PoolConfig{})
+	req, _ := http.NewRequest(http.MethodDelete, base+"/system/functions", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestReaperTTLExpiry(t *testing.T) {
+	d, base := startDaemon(t, PoolConfig{IdleTTL: time.Hour, ReapInterval: time.Hour})
+	if err := d.Deploy(DeploySpec{Name: "echo", Handler: "echo"}); err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, base+"/function/echo", "x")
+	if d.WarmInstances("echo") != 1 {
+		t.Fatalf("warm = %d", d.WarmInstances("echo"))
+	}
+	// Within TTL: kept.
+	d.reapOnce(time.Now().Add(30 * time.Minute))
+	if d.WarmInstances("echo") != 1 {
+		t.Fatal("instance reaped before TTL")
+	}
+	// Past TTL: reaped.
+	d.reapOnce(time.Now().Add(2 * time.Hour))
+	if d.WarmInstances("echo") != 0 {
+		t.Fatal("instance survived TTL")
+	}
+	// Next request cold-starts again and still works.
+	inv := postJSON(t, base+"/function/echo", "again")
+	body, _ := io.ReadAll(inv.Body)
+	if string(body) != "again" {
+		t.Fatalf("post-reap invoke = %q", body)
+	}
+	if d.Stats().ColdStarts != 2 {
+		t.Fatalf("cold starts = %d, want 2", d.Stats().ColdStarts)
+	}
+}
+
+func TestReaperIdleCap(t *testing.T) {
+	d, base := startDaemon(t, PoolConfig{MaxIdlePerFunction: 2, ReapInterval: time.Hour})
+	if err := d.Deploy(DeploySpec{Name: "s", Handler: "echo"}); err != nil {
+		t.Fatal(err)
+	}
+	// Build up 4 warm instances via concurrent requests.
+	done := make(chan struct{}, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			resp, err := http.Post(base+"/function/s", "text/plain", strings.NewReader("x"))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if got := d.WarmInstances("s"); got != 4 {
+		t.Fatalf("warm before reap = %d", got)
+	}
+	d.reapOnce(time.Now())
+	if got := d.WarmInstances("s"); got != 2 {
+		t.Fatalf("warm after cap reap = %d, want 2", got)
+	}
+}
+
+func TestBuiltinsListed(t *testing.T) {
+	for _, name := range Builtins() {
+		if _, err := builtinHandler(name); err != nil {
+			t.Errorf("builtin %q unavailable: %v", name, err)
+		}
+	}
+	if _, err := builtinHandler("nope"); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+}

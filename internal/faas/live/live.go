@@ -1,0 +1,250 @@
+// Package live is a real (non-simulated) miniature of the OpenFaaS
+// pipeline the paper instruments: an HTTP gateway that proxies
+// requests to per-function watchdog processes over actual TCP sockets
+// on localhost. Each watchdog is an http.Server wrapping the function
+// handler — the role OpenFaaS's "tiny Golang HTTP server" plays inside
+// the container.
+//
+// Cold start is modelled by a configurable delay when a new watchdog
+// instance boots (standing in for container creation, runtime init and
+// application init); with reuse enabled the gateway keeps finished
+// instances warm in a pool, HotC-style, and skips that delay.
+//
+// This package exists so the examples can demonstrate the middleware
+// against a real network stack; the figure benchmarks use the
+// deterministic simulated pipeline in the parent package.
+package live
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Handler is the function body: bytes in, bytes out.
+type Handler func(body []byte) ([]byte, error)
+
+// Function describes a deployable function.
+type Function struct {
+	// Name routes requests: the gateway serves it at /function/<name>.
+	Name string
+	// Handler is the business logic.
+	Handler Handler
+	// ColdStart is the artificial boot delay a fresh instance pays
+	// (container create + runtime init + app init).
+	ColdStart time.Duration
+}
+
+// instance is one live watchdog: an HTTP server bound to a loopback
+// port, running the function handler.
+type instance struct {
+	fn     Function
+	server *http.Server
+	addr   string
+	lis    net.Listener
+	// idleSince is when the instance last returned to the warm pool
+	// (set under the gateway lock; read by the daemon's reaper).
+	idleSince time.Time
+}
+
+func startInstance(fn Function) (*instance, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("live: watchdog listen: %w", err)
+	}
+	inst := &instance{fn: fn, lis: lis, addr: lis.Addr().String()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out, err := fn.Handler(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write(out)
+	})
+	inst.server = &http.Server{Handler: mux}
+	go inst.server.Serve(lis)
+	// The cold start: container boot, runtime init, business init.
+	time.Sleep(fn.ColdStart)
+	return inst, nil
+}
+
+func (i *instance) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	i.server.Shutdown(ctx)
+}
+
+// Stats counts gateway activity.
+type Stats struct {
+	Requests   int
+	ColdStarts int
+	Reused     int
+}
+
+// Gateway proxies /function/<name> requests to watchdog instances.
+type Gateway struct {
+	reuse bool
+
+	mu    sync.Mutex
+	fns   map[string]Function
+	idle  map[string][]*instance
+	stats Stats
+
+	server *http.Server
+	lis    net.Listener
+	client *http.Client
+}
+
+// NewGateway creates a gateway. With reuse enabled, finished instances
+// return to a warm pool (the HotC behaviour); without it every request
+// boots and tears down an instance (the default cold behaviour).
+func NewGateway(reuse bool) *Gateway {
+	return &Gateway{
+		reuse:  reuse,
+		fns:    make(map[string]Function),
+		idle:   make(map[string][]*instance),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Register deploys a function. It must be called before Start.
+func (g *Gateway) Register(fn Function) error {
+	if fn.Name == "" || fn.Handler == nil {
+		return fmt.Errorf("live: function needs a name and a handler")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.fns[fn.Name] = fn
+	return nil
+}
+
+// Start binds the gateway to a loopback port and returns its base URL.
+func (g *Gateway) Start() (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/function/", g.handle)
+	return g.startWith(mux)
+}
+
+// startWith binds the gateway with a custom route table (the daemon
+// adds management endpoints).
+func (g *Gateway) startWith(mux *http.ServeMux) (string, error) {
+	return g.startOn("127.0.0.1:0", mux)
+}
+
+// startOn binds to an explicit address.
+func (g *Gateway) startOn(addr string, mux *http.ServeMux) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("live: gateway listen: %w", err)
+	}
+	g.lis = lis
+	g.server = &http.Server{Handler: mux}
+	go g.server.Serve(lis)
+	return "http://" + lis.Addr().String(), nil
+}
+
+// Stop shuts the gateway and all warm instances down.
+func (g *Gateway) Stop() {
+	if g.server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		g.server.Shutdown(ctx)
+		cancel()
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, list := range g.idle {
+		for _, inst := range list {
+			inst.stop()
+		}
+	}
+	g.idle = make(map[string][]*instance)
+}
+
+// Stats returns a snapshot of the counters.
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// WarmInstances reports the number of idle warm instances for a
+// function.
+func (g *Gateway) WarmInstances(name string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.idle[name])
+}
+
+// acquire returns a warm instance or boots a new one.
+func (g *Gateway) acquire(name string) (*instance, bool, error) {
+	g.mu.Lock()
+	fn, ok := g.fns[name]
+	if !ok {
+		g.mu.Unlock()
+		return nil, false, fmt.Errorf("live: unknown function %q", name)
+	}
+	if list := g.idle[name]; len(list) > 0 {
+		inst := list[len(list)-1]
+		g.idle[name] = list[:len(list)-1]
+		g.stats.Reused++
+		g.stats.Requests++
+		g.mu.Unlock()
+		return inst, true, nil
+	}
+	g.stats.ColdStarts++
+	g.stats.Requests++
+	g.mu.Unlock()
+
+	inst, err := startInstance(fn) // cold boot outside the lock
+	return inst, false, err
+}
+
+// release returns the instance to the warm pool or tears it down.
+func (g *Gateway) release(name string, inst *instance) {
+	if !g.reuse {
+		inst.stop()
+		return
+	}
+	g.mu.Lock()
+	inst.idleSince = time.Now()
+	g.idle[name] = append(g.idle[name], inst)
+	g.mu.Unlock()
+}
+
+func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/function/")
+	inst, reused, err := g.acquire(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	defer g.release(name, inst)
+
+	// Forward to the watchdog over a real socket.
+	resp, err := g.client.Post("http://"+inst.addr+"/", "application/octet-stream", r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("X-Hotc-Reused", fmt.Sprintf("%v", reused))
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}

@@ -1,0 +1,233 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoFn(name string, cold time.Duration) Function {
+	return Function{
+		Name: name,
+		Handler: func(body []byte) ([]byte, error) {
+			return append([]byte("echo:"), body...), nil
+		},
+		ColdStart: cold,
+	}
+}
+
+func post(t *testing.T, url, body string) (string, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	return string(data), resp.Header
+}
+
+func TestGatewayRoundTrip(t *testing.T) {
+	g := NewGateway(true)
+	if err := g.Register(echoFn("echo", 10*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	base, err := g.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+
+	body, hdr := post(t, base+"/function/echo", "hello")
+	if body != "echo:hello" {
+		t.Fatalf("body = %q", body)
+	}
+	if hdr.Get("X-Hotc-Reused") != "false" {
+		t.Fatal("first request should be cold")
+	}
+	body, hdr = post(t, base+"/function/echo", "again")
+	if body != "echo:again" {
+		t.Fatalf("body = %q", body)
+	}
+	if hdr.Get("X-Hotc-Reused") != "true" {
+		t.Fatal("second request should reuse")
+	}
+	st := g.Stats()
+	if st.Requests != 2 || st.ColdStarts != 1 || st.Reused != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReuseEliminatesColdLatency(t *testing.T) {
+	const cold = 150 * time.Millisecond
+	g := NewGateway(true)
+	g.Register(echoFn("echo", cold))
+	base, err := g.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+
+	t0 := time.Now()
+	post(t, base+"/function/echo", "x")
+	coldLat := time.Since(t0)
+	t1 := time.Now()
+	post(t, base+"/function/echo", "x")
+	warmLat := time.Since(t1)
+
+	if coldLat < cold {
+		t.Fatalf("cold latency %v below configured cold start %v", coldLat, cold)
+	}
+	if warmLat > coldLat/2 {
+		t.Fatalf("warm latency %v not clearly below cold %v", warmLat, coldLat)
+	}
+}
+
+func TestNoReuseAlwaysCold(t *testing.T) {
+	g := NewGateway(false)
+	g.Register(echoFn("echo", 5*time.Millisecond))
+	base, err := g.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+
+	for i := 0; i < 3; i++ {
+		_, hdr := post(t, base+"/function/echo", "x")
+		if hdr.Get("X-Hotc-Reused") != "false" {
+			t.Fatalf("request %d reused under no-reuse gateway", i)
+		}
+	}
+	if g.WarmInstances("echo") != 0 {
+		t.Fatal("no-reuse gateway kept instances warm")
+	}
+	st := g.Stats()
+	if st.ColdStarts != 3 || st.Reused != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUnknownFunction404(t *testing.T) {
+	g := NewGateway(true)
+	base, err := g.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	resp, err := http.Post(base+"/function/ghost", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	g := NewGateway(true)
+	g.Register(Function{
+		Name:    "boom",
+		Handler: func([]byte) ([]byte, error) { return nil, fmt.Errorf("kaput") },
+	})
+	base, err := g.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	resp, err := http.Post(base+"/function/boom", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(body, []byte("kaput")) {
+		t.Fatalf("error body = %q", body)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	g := NewGateway(true)
+	if err := g.Register(Function{}); err == nil {
+		t.Fatal("invalid function registered")
+	}
+}
+
+func TestConcurrentRequestsGetDistinctInstances(t *testing.T) {
+	g := NewGateway(true)
+	var mu sync.Mutex
+	inFlight, maxInFlight := 0, 0
+	g.Register(Function{
+		Name: "slow",
+		Handler: func(b []byte) ([]byte, error) {
+			mu.Lock()
+			inFlight++
+			if inFlight > maxInFlight {
+				maxInFlight = inFlight
+			}
+			mu.Unlock()
+			time.Sleep(50 * time.Millisecond)
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+			return b, nil
+		},
+	})
+	base, err := g.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/function/slow", "text/plain", strings.NewReader("x"))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInFlight < 2 {
+		t.Fatalf("expected concurrent executions, max in flight = %d", maxInFlight)
+	}
+	if g.Stats().Requests != 4 {
+		t.Fatalf("requests = %d", g.Stats().Requests)
+	}
+	// All four instances returned to the warm pool.
+	if got := g.WarmInstances("slow"); got != 4 {
+		t.Fatalf("warm instances = %d, want 4", got)
+	}
+}
+
+func TestStopShutsInstancesDown(t *testing.T) {
+	g := NewGateway(true)
+	g.Register(echoFn("echo", 0))
+	base, err := g.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	post(t, base+"/function/echo", "x")
+	g.Stop()
+	if g.WarmInstances("echo") != 0 {
+		t.Fatal("instances survived Stop")
+	}
+}

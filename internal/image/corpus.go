@@ -1,0 +1,219 @@
+package image
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hotc/internal/rng"
+)
+
+// CorpusEntry is one synthetic GitHub project in the Fig. 2 survey: a
+// Dockerfile plus a popularity weight (stars).
+type CorpusEntry struct {
+	// Project is a synthetic project slug.
+	Project string
+	// Stars is the popularity weight used to select the "top 100".
+	Stars int
+	// File is the parsed Dockerfile.
+	File *Dockerfile
+}
+
+// Corpus is a collection of synthetic projects with Dockerfiles.
+type Corpus struct {
+	Entries []CorpusEntry
+}
+
+// baseImagePool is the pool the generator draws from, ordered by
+// real-world popularity: surveys of GitHub Dockerfiles consistently
+// find ubuntu/alpine/node/python/golang/openjdk/nginx dominating, the
+// concentration the paper's Fig. 2(a) reports.
+var baseImagePool = []struct {
+	ref      string
+	category Category
+}{
+	{"ubuntu:16.04", OS},
+	{"alpine:3.9", OS},
+	{"node:10", Language},
+	{"python:3.8", Language},
+	{"golang:1.12", Language},
+	{"openjdk:8", Language},
+	{"nginx:1.15", Application},
+	{"debian:stretch", OS},
+	{"python:3.8-alpine", Language},
+	{"redis:5", Application},
+	{"busybox:1.30", OS},
+	{"mysql:5.7", Application},
+	{"httpd:2.4", Application},
+	{"ruby:2.6", Language},
+	{"postgres:11", Application},
+	{"centos:7", OS},
+	{"mongo:4", Application},
+	{"cassandra:3.11", Application},
+	{"tensorflow:1.13", Application},
+	{"couchbase:6", Application},
+	{"rabbitmq:3", Application},
+	{"memcached:1.5", Application},
+	{"php:7.2", Language},
+	{"elixir:1.8", Language},
+	{"erlang:21", Language},
+	{"haskell:8.6", Language},
+	{"rust:1.33", Language},
+	{"perl:5.28", Language},
+	{"fedora:29", OS},
+	{"opensuse:15", OS},
+}
+
+// GenerateCorpus synthesises n projects whose base-image choices follow
+// a Zipf distribution over the popularity-ordered pool, reproducing
+// the concentration in Fig. 2(a). The generator is deterministic for a
+// given rng source.
+func GenerateCorpus(src *rng.Source, n int) (*Corpus, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("image: corpus size must be positive, got %d", n)
+	}
+	z := src.Zipf(1.6, uint64(len(baseImagePool)))
+	c := &Corpus{Entries: make([]CorpusEntry, 0, n)}
+	for i := 0; i < n; i++ {
+		pick := baseImagePool[z.Next()]
+		text := synthesizeDockerfile(src, pick.ref, pick.category)
+		df, err := ParseDockerfile(text)
+		if err != nil {
+			return nil, fmt.Errorf("image: synthesised dockerfile invalid: %w", err)
+		}
+		c.Entries = append(c.Entries, CorpusEntry{
+			Project: fmt.Sprintf("project-%05d", i),
+			// Popularity follows a heavy tail too: a few projects have
+			// most of the stars.
+			Stars: int(src.Exp(120)) + src.Intn(30),
+			File:  df,
+		})
+	}
+	return c, nil
+}
+
+func synthesizeDockerfile(src *rng.Source, base string, cat Category) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# synthetic project dockerfile\nFROM %s\n", base)
+	switch cat {
+	case OS:
+		b.WriteString("RUN apt-get update && \\\n    apt-get install -y curl\n")
+	case Language:
+		b.WriteString("WORKDIR /app\nCOPY . /app\nRUN make deps\n")
+	case Application:
+		b.WriteString("COPY conf/ /etc/app/\n")
+	}
+	if src.Bernoulli(0.6) {
+		fmt.Fprintf(&b, "ENV APP_ENV=prod\n")
+	}
+	if src.Bernoulli(0.4) {
+		fmt.Fprintf(&b, "EXPOSE %d\n", 8000+src.Intn(1000))
+	}
+	if src.Bernoulli(0.25) {
+		b.WriteString("VOLUME /data\n")
+	}
+	if src.Bernoulli(0.3) {
+		b.WriteString("LABEL maintainer=synthetic\n")
+	}
+	b.WriteString("CMD [\"./run\"]\n")
+	return b.String()
+}
+
+// ImageShare is one row of the Fig. 2(a) popularity table.
+type ImageShare struct {
+	// Base is the base-image repository name.
+	Base string
+	// Count is the number of projects using it.
+	Count int
+	// Share is Count over the corpus size.
+	Share float64
+}
+
+// PopularityStats is the Fig. 2(a) analysis output.
+type PopularityStats struct {
+	// Total is the number of projects analysed.
+	Total int
+	// Shares lists base images by descending usage.
+	Shares []ImageShare
+	// TopShare(k) convenience values for the figure.
+	Top5Share, Top10Share float64
+}
+
+// Popularity computes base-image usage shares over the given entries.
+func (c *Corpus) Popularity(entries []CorpusEntry) PopularityStats {
+	counts := map[string]int{}
+	for _, e := range entries {
+		counts[e.File.BaseName()]++
+	}
+	st := PopularityStats{Total: len(entries)}
+	for base, n := range counts {
+		st.Shares = append(st.Shares, ImageShare{Base: base, Count: n, Share: float64(n) / float64(len(entries))})
+	}
+	sort.Slice(st.Shares, func(i, j int) bool {
+		if st.Shares[i].Count != st.Shares[j].Count {
+			return st.Shares[i].Count > st.Shares[j].Count
+		}
+		return st.Shares[i].Base < st.Shares[j].Base
+	})
+	for i, s := range st.Shares {
+		if i < 5 {
+			st.Top5Share += s.Share
+		}
+		if i < 10 {
+			st.Top10Share += s.Share
+		}
+	}
+	return st
+}
+
+// All returns every corpus entry.
+func (c *Corpus) All() []CorpusEntry { return c.Entries }
+
+// TopByStars returns the k most-starred projects (the paper's "top 100
+// popular" slice of Fig. 2(a)).
+func (c *Corpus) TopByStars(k int) []CorpusEntry {
+	sorted := append([]CorpusEntry(nil), c.Entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Stars != sorted[j].Stars {
+			return sorted[i].Stars > sorted[j].Stars
+		}
+		return sorted[i].Project < sorted[j].Project
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+// CategoryShares is the Fig. 2(b) analysis: the fraction of projects
+// whose base image is an OS, language or application image.
+type CategoryShares struct {
+	OS, Language, Application float64
+}
+
+// Categories computes the Fig. 2(b) category breakdown. Base images
+// not present in the catalog are counted by best-effort name matching.
+func (c *Corpus) Categories(entries []CorpusEntry) CategoryShares {
+	if len(entries) == 0 {
+		return CategoryShares{}
+	}
+	lookup := map[string]Category{}
+	for _, p := range baseImagePool {
+		name, _ := ParseRef(p.ref)
+		lookup[name] = p.category
+	}
+	var counts [3]int
+	for _, e := range entries {
+		cat, ok := lookup[e.File.BaseName()]
+		if !ok {
+			cat = Application
+		}
+		counts[cat]++
+	}
+	n := float64(len(entries))
+	return CategoryShares{
+		OS:          float64(counts[OS]) / n,
+		Language:    float64(counts[Language]) / n,
+		Application: float64(counts[Application]) / n,
+	}
+}

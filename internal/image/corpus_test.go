@@ -1,0 +1,127 @@
+package image
+
+import (
+	"testing"
+
+	"hotc/internal/rng"
+)
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	a, err := GenerateCorpus(rng.New(1), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCorpus(rng.New(1), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Entries {
+		if a.Entries[i].File.BaseImage != b.Entries[i].File.BaseImage ||
+			a.Entries[i].Stars != b.Entries[i].Stars {
+			t.Fatalf("corpus not deterministic at entry %d", i)
+		}
+	}
+}
+
+func TestGenerateCorpusSize(t *testing.T) {
+	c, err := GenerateCorpus(rng.New(2), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Entries) != 100 {
+		t.Fatalf("len = %d", len(c.Entries))
+	}
+	if _, err := GenerateCorpus(rng.New(2), 0); err == nil {
+		t.Fatal("zero-size corpus accepted")
+	}
+}
+
+// Fig. 2(a): "both the top 100 popular and all surveyed projects are
+// dominated by a few commonly used images".
+func TestFig2aPopularityConcentration(t *testing.T) {
+	c, err := GenerateCorpus(rng.New(42), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := c.Popularity(c.All())
+	if all.Total != 2000 {
+		t.Fatalf("total = %d", all.Total)
+	}
+	if all.Top10Share < 0.6 {
+		t.Fatalf("top-10 share over all projects = %.2f, want dominance (>0.6)", all.Top10Share)
+	}
+	top := c.Popularity(c.TopByStars(100))
+	if top.Total != 100 {
+		t.Fatalf("top-100 total = %d", top.Total)
+	}
+	if top.Top10Share < 0.5 {
+		t.Fatalf("top-10 share in top-100 projects = %.2f, want dominance", top.Top10Share)
+	}
+	// Shares must sum to ~1 and be sorted descending.
+	sum := 0.0
+	for i, s := range all.Shares {
+		sum += s.Share
+		if i > 0 && s.Count > all.Shares[i-1].Count {
+			t.Fatal("shares not sorted descending")
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+}
+
+// Fig. 2(b): OS, language and application images dominate the base
+// image settings.
+func TestFig2bCategoryShares(t *testing.T) {
+	c, err := GenerateCorpus(rng.New(42), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := c.Categories(c.All())
+	total := cat.OS + cat.Language + cat.Application
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("category shares sum to %v", total)
+	}
+	if cat.OS == 0 || cat.Language == 0 || cat.Application == 0 {
+		t.Fatalf("some category empty: %+v", cat)
+	}
+	// OS + language bases dominate (they top the popularity pool).
+	if cat.OS+cat.Language < 0.5 {
+		t.Fatalf("OS+language share = %v, want > 0.5", cat.OS+cat.Language)
+	}
+}
+
+func TestCategoriesEmpty(t *testing.T) {
+	c := &Corpus{}
+	if got := c.Categories(nil); got != (CategoryShares{}) {
+		t.Fatalf("empty categories = %+v", got)
+	}
+}
+
+func TestTopByStarsBounds(t *testing.T) {
+	c, err := GenerateCorpus(rng.New(3), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := c.TopByStars(100)
+	if len(top) != 10 {
+		t.Fatalf("TopByStars(100) of 10 = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Stars > top[i-1].Stars {
+			t.Fatal("TopByStars not sorted")
+		}
+	}
+}
+
+func TestCorpusDockerfilesParseable(t *testing.T) {
+	c, err := GenerateCorpus(rng.New(9), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range c.Entries {
+		if e.File.BaseImage == "" {
+			t.Fatalf("entry %s has no base image", e.Project)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package image
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+)
+
+// Instruction is one parsed Dockerfile instruction.
+type Instruction struct {
+	// Cmd is the upper-cased instruction keyword (FROM, RUN, ...).
+	Cmd string
+	// Args is the raw argument string with line continuations joined.
+	Args string
+}
+
+// Dockerfile is the parsed form of a Dockerfile, retaining the fields
+// the Fig. 2 corpus analysis needs.
+type Dockerfile struct {
+	// BaseImage is the first FROM reference (stage 1 for multi-stage
+	// builds, matching how popularity surveys count base images).
+	BaseImage string
+	// FinalImage is the last FROM reference (what the built image
+	// actually runs on).
+	FinalImage string
+	// Stages counts FROM instructions.
+	Stages int
+	// Instructions is the full ordered instruction list.
+	Instructions []Instruction
+	// Env collects ENV key=value pairs across stages.
+	Env map[string]string
+	// Labels collects LABEL key=value pairs.
+	Labels map[string]string
+	// ExposedPorts collects EXPOSE arguments.
+	ExposedPorts []string
+	// Volumes collects VOLUME mount points.
+	Volumes []string
+}
+
+var knownInstructions = map[string]bool{
+	"FROM": true, "RUN": true, "CMD": true, "ENTRYPOINT": true,
+	"ENV": true, "ARG": true, "COPY": true, "ADD": true,
+	"EXPOSE": true, "VOLUME": true, "WORKDIR": true, "USER": true,
+	"LABEL": true, "ONBUILD": true, "STOPSIGNAL": true,
+	"HEALTHCHECK": true, "SHELL": true, "MAINTAINER": true,
+}
+
+// ParseDockerfile parses Dockerfile text. It understands comments,
+// blank lines, line continuations with trailing backslashes, and the
+// instruction set of Docker 1.17 (the version the paper uses). Unknown
+// instructions are an error; a missing FROM is an error.
+func ParseDockerfile(text string) (*Dockerfile, error) {
+	df := &Dockerfile{
+		Env:    map[string]string{},
+		Labels: map[string]string{},
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var pending string
+	lineNo := 0
+	flush := func() error {
+		line := strings.TrimSpace(pending)
+		pending = ""
+		if line == "" {
+			return nil
+		}
+		cmd, args, _ := strings.Cut(line, " ")
+		cmd = strings.ToUpper(cmd)
+		args = strings.TrimSpace(args)
+		if !knownInstructions[cmd] {
+			return fmt.Errorf("image: line %d: unknown instruction %q", lineNo, cmd)
+		}
+		df.Instructions = append(df.Instructions, Instruction{Cmd: cmd, Args: args})
+		switch cmd {
+		case "FROM":
+			ref := strings.Fields(args)
+			if len(ref) == 0 {
+				return fmt.Errorf("image: line %d: FROM without image", lineNo)
+			}
+			// Strip "AS stagename".
+			img := ref[0]
+			df.Stages++
+			if df.Stages == 1 {
+				df.BaseImage = img
+			}
+			df.FinalImage = img
+		case "ENV":
+			k, v := parseKV(args)
+			if k != "" {
+				df.Env[k] = v
+			}
+		case "LABEL":
+			k, v := parseKV(args)
+			if k != "" {
+				df.Labels[k] = v
+			}
+		case "EXPOSE":
+			df.ExposedPorts = append(df.ExposedPorts, strings.Fields(args)...)
+		case "VOLUME":
+			df.Volumes = append(df.Volumes, strings.Fields(strings.Trim(args, "[]\""))...)
+		}
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		trimmed := strings.TrimSpace(raw)
+		if pending == "" && (trimmed == "" || strings.HasPrefix(trimmed, "#")) {
+			continue
+		}
+		if strings.HasSuffix(trimmed, "\\") {
+			pending += strings.TrimSuffix(trimmed, "\\") + " "
+			continue
+		}
+		pending += trimmed
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("image: reading dockerfile: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if df.Stages == 0 {
+		return nil, fmt.Errorf("image: dockerfile has no FROM instruction")
+	}
+	return df, nil
+}
+
+// parseKV handles both "KEY=value" and "KEY value" forms used by ENV
+// and LABEL.
+func parseKV(args string) (string, string) {
+	if k, v, ok := strings.Cut(args, "="); ok && !strings.ContainsAny(k, " \t") {
+		return strings.TrimSpace(k), strings.Trim(v, "\"")
+	}
+	if k, v, ok := strings.Cut(args, " "); ok {
+		return strings.TrimSpace(k), strings.Trim(strings.TrimSpace(v), "\"")
+	}
+	return strings.TrimSpace(args), ""
+}
+
+// BaseName returns the repository part of the Dockerfile's base image
+// ("python:3.8-alpine" -> "python").
+func (df *Dockerfile) BaseName() string {
+	name, _ := ParseRef(df.BaseImage)
+	return name
+}

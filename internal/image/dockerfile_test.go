@@ -1,0 +1,122 @@
+package image
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDockerfile = `
+# build the service
+FROM python:3.8-alpine
+ENV APP_ENV=prod
+ENV PORT 8080
+LABEL maintainer="ops@example.com"
+WORKDIR /app
+COPY . /app
+RUN pip install -r requirements.txt && \
+    pip cache purge
+EXPOSE 8080 9090
+VOLUME /data
+USER nobody
+CMD ["python", "app.py"]
+`
+
+func TestParseDockerfile(t *testing.T) {
+	df, err := ParseDockerfile(sampleDockerfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.BaseImage != "python:3.8-alpine" {
+		t.Fatalf("base = %q", df.BaseImage)
+	}
+	if df.BaseName() != "python" {
+		t.Fatalf("base name = %q", df.BaseName())
+	}
+	if df.Stages != 1 {
+		t.Fatalf("stages = %d", df.Stages)
+	}
+	if df.Env["APP_ENV"] != "prod" {
+		t.Fatalf("env = %v", df.Env)
+	}
+	if df.Env["PORT"] != "8080" {
+		t.Fatalf("ENV key value form not parsed: %v", df.Env)
+	}
+	if df.Labels["maintainer"] != "ops@example.com" {
+		t.Fatalf("labels = %v", df.Labels)
+	}
+	if len(df.ExposedPorts) != 2 {
+		t.Fatalf("ports = %v", df.ExposedPorts)
+	}
+	if len(df.Volumes) != 1 || df.Volumes[0] != "/data" {
+		t.Fatalf("volumes = %v", df.Volumes)
+	}
+}
+
+func TestParseDockerfileContinuation(t *testing.T) {
+	df, err := ParseDockerfile("FROM alpine\nRUN a && \\\n  b && \\\n  c\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run *Instruction
+	for i := range df.Instructions {
+		if df.Instructions[i].Cmd == "RUN" {
+			run = &df.Instructions[i]
+		}
+	}
+	if run == nil {
+		t.Fatal("RUN instruction lost")
+	}
+	if !strings.Contains(run.Args, "a &&") || !strings.Contains(run.Args, "c") {
+		t.Fatalf("continuation not joined: %q", run.Args)
+	}
+}
+
+func TestParseDockerfileMultiStage(t *testing.T) {
+	df, err := ParseDockerfile("FROM golang:1.12 AS build\nRUN go build\nFROM alpine:3.9\nCOPY --from=build /bin/app /app\nCMD [\"/app\"]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Stages != 2 {
+		t.Fatalf("stages = %d", df.Stages)
+	}
+	if df.BaseImage != "golang:1.12" {
+		t.Fatalf("base = %q", df.BaseImage)
+	}
+	if df.FinalImage != "alpine:3.9" {
+		t.Fatalf("final = %q", df.FinalImage)
+	}
+}
+
+func TestParseDockerfileErrors(t *testing.T) {
+	cases := []string{
+		"",                        // no FROM
+		"RUN echo hi\n",           // no FROM
+		"FROM\n",                  // FROM without image
+		"FROM alpine\nTELEPORT x", // unknown instruction
+	}
+	for i, text := range cases {
+		if _, err := ParseDockerfile(text); err == nil {
+			t.Errorf("case %d: expected error for %q", i, text)
+		}
+	}
+}
+
+func TestParseDockerfileCaseInsensitiveKeywords(t *testing.T) {
+	df, err := ParseDockerfile("from alpine\nrun echo hi\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.BaseImage != "alpine" {
+		t.Fatalf("base = %q", df.BaseImage)
+	}
+}
+
+func TestParseDockerfileNoTrailingNewline(t *testing.T) {
+	df, err := ParseDockerfile("FROM alpine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.BaseImage != "alpine" {
+		t.Fatalf("base = %q", df.BaseImage)
+	}
+}

@@ -1,0 +1,46 @@
+package image
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDockerfile checks the parser never panics and that any
+// successfully parsed Dockerfile has a base image and consistent
+// fields.
+func FuzzParseDockerfile(f *testing.F) {
+	f.Add(sampleDockerfile)
+	f.Add("FROM alpine\nRUN echo hi\n")
+	f.Add("from ubuntu:16.04\nENV A=1\nENV B 2\nLABEL x=\"y\"\n")
+	f.Add("FROM golang:1.12 AS build\nFROM alpine\nCOPY --from=build /a /a\n")
+	f.Add("FROM a\nRUN x && \\\n  y\n")
+	f.Add("# only a comment")
+	f.Add("")
+	f.Add("FROM\n")
+	f.Add("EXPOSE 8080 9090\nFROM x\nVOLUME [\"/data\"]\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		df, err := ParseDockerfile(text)
+		if err != nil {
+			return
+		}
+		if df.BaseImage == "" {
+			t.Fatalf("parsed dockerfile without base image: %q", text)
+		}
+		if df.Stages < 1 {
+			t.Fatalf("parsed dockerfile with %d stages", df.Stages)
+		}
+		if df.FinalImage == "" {
+			t.Fatal("parsed dockerfile without final image")
+		}
+		// BaseName never contains a tag separator.
+		if strings.Contains(df.BaseName(), ":") {
+			t.Fatalf("BaseName %q contains a tag", df.BaseName())
+		}
+		for _, in := range df.Instructions {
+			if in.Cmd != strings.ToUpper(in.Cmd) {
+				t.Fatalf("instruction %q not upper-cased", in.Cmd)
+			}
+		}
+	})
+}

@@ -1,0 +1,428 @@
+// Package metrics provides the measurement plumbing shared by every
+// experiment in the repository: latency sample series with percentile
+// and CDF extraction, bucketed histograms, timestamped time series, and
+// streaming mean/variance accumulators.
+//
+// All of the paper's figures are ultimately rendered from these types:
+// latency-versus-request plots are Series, the Fig. 1(b) long-tail plot
+// is a CDF, Fig. 10 prediction traces are TimeSeries, and Fig. 15
+// resource monitoring is a pair of TimeSeries.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Series collects float64 samples (usually latencies in milliseconds)
+// in arrival order and answers distribution queries. The zero value is
+// ready to use.
+type Series struct {
+	samples []float64
+	sorted  []float64 // lazily maintained sorted copy
+	dirty   bool
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.dirty = true
+}
+
+// AddDuration appends a duration sample converted to milliseconds.
+func (s *Series) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Values returns the samples in arrival order. The caller must not
+// modify the returned slice.
+func (s *Series) Values() []float64 { return s.samples }
+
+// At returns the i-th sample in arrival order.
+func (s *Series) At(i int) float64 { return s.samples[i] }
+
+func (s *Series) ensureSorted() {
+	if !s.dirty && s.sorted != nil {
+		return
+	}
+	s.sorted = append(s.sorted[:0], s.samples...)
+	sort.Float64s(s.sorted)
+	s.dirty = false
+}
+
+// Min returns the smallest sample, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.sorted[0]
+}
+
+// Max returns the largest sample, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.sorted[len(s.sorted)-1]
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum / float64(len(s.samples))
+}
+
+// Stddev returns the population standard deviation, or 0 when there are
+// fewer than two samples.
+func (s *Series) Stddev() float64 {
+	n := len(s.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	sum := 0.0
+	for _, v := range s.samples {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It returns 0 for an empty
+// series and panics on out-of-range p.
+func (s *Series) Percentile(p float64) float64 {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of range [0,100]", p))
+	}
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if len(s.sorted) == 1 {
+		return s.sorted[0]
+	}
+	rank := p / 100 * float64(len(s.sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return s.sorted[lo]*(1-frac) + s.sorted[hi]*frac
+}
+
+// Median is Percentile(50).
+func (s *Series) Median() float64 { return s.Percentile(50) }
+
+// Sum returns the total of all samples.
+func (s *Series) Sum() float64 {
+	sum := 0.0
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum
+}
+
+// CDFPoint is one point of an empirical cumulative distribution.
+type CDFPoint struct {
+	Value    float64 // sample value
+	Fraction float64 // fraction of samples <= Value, in (0, 1]
+}
+
+// CDF returns the empirical CDF of the series as (value, fraction)
+// pairs with non-decreasing value and fraction.
+func (s *Series) CDF() []CDFPoint {
+	if len(s.samples) == 0 {
+		return nil
+	}
+	s.ensureSorted()
+	n := len(s.sorted)
+	pts := make([]CDFPoint, 0, n)
+	for i, v := range s.sorted {
+		frac := float64(i+1) / float64(n)
+		// Collapse runs of equal values into their final fraction.
+		if len(pts) > 0 && pts[len(pts)-1].Value == v {
+			pts[len(pts)-1].Fraction = frac
+			continue
+		}
+		pts = append(pts, CDFPoint{Value: v, Fraction: frac})
+	}
+	return pts
+}
+
+// Summary is a compact distribution description used in reports.
+type Summary struct {
+	Count               int
+	Min, Mean, Max      float64
+	P50, P90, P99, P999 float64
+	Stddev              float64
+}
+
+// Summarize computes a Summary of the series.
+func (s *Series) Summarize() Summary {
+	return Summary{
+		Count:  s.Len(),
+		Min:    s.Min(),
+		Mean:   s.Mean(),
+		Max:    s.Max(),
+		P50:    s.Percentile(50),
+		P90:    s.Percentile(90),
+		P99:    s.Percentile(99),
+		P999:   s.Percentile(99.9),
+		Stddev: s.Stddev(),
+	}
+}
+
+// String renders the summary for reports: count, mean and tail.
+func (m Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f mean=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f",
+		m.Count, m.Min, m.Mean, m.P50, m.P90, m.P99, m.Max)
+}
+
+// Histogram buckets samples into fixed-width bins over [lo, hi); values
+// outside the range land in saturating under/overflow bins.
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	buckets []int
+	under   int
+	over    int
+	count   int
+}
+
+// NewHistogram creates a histogram with n equal-width buckets covering
+// [lo, hi). It panics if n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("metrics: histogram needs at least one bucket")
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("metrics: invalid histogram range [%v, %v)", lo, hi))
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]int, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.count++
+	switch {
+	case v < h.lo:
+		h.under++
+	case v >= h.hi:
+		h.over++
+	default:
+		i := int((v - h.lo) / h.width)
+		if i >= len(h.buckets) { // guard float rounding at the top edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count reports the total number of samples recorded.
+func (h *Histogram) Count() int { return h.count }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// NumBuckets reports the number of in-range buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Underflow and Overflow report the saturating bin counts.
+func (h *Histogram) Underflow() int { return h.under }
+
+// Overflow reports the number of samples >= the histogram upper bound.
+func (h *Histogram) Overflow() int { return h.over }
+
+// BucketBounds returns the [lo, hi) range of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	lo = h.lo + float64(i)*h.width
+	return lo, lo + h.width
+}
+
+// TimePoint is a (virtual time, value) pair.
+type TimePoint struct {
+	T time.Duration
+	V float64
+}
+
+// TimeSeries records values against virtual timestamps, e.g. the number
+// of live containers per control interval or CPU usage per sample tick.
+type TimeSeries struct {
+	points []TimePoint
+}
+
+// Add appends a point; timestamps must be non-decreasing.
+func (ts *TimeSeries) Add(t time.Duration, v float64) {
+	if n := len(ts.points); n > 0 && t < ts.points[n-1].T {
+		panic(fmt.Sprintf("metrics: time series timestamps must be non-decreasing (%v after %v)", t, ts.points[n-1].T))
+	}
+	ts.points = append(ts.points, TimePoint{T: t, V: v})
+}
+
+// Len reports the number of points.
+func (ts *TimeSeries) Len() int { return len(ts.points) }
+
+// Points returns the underlying points; callers must not modify them.
+func (ts *TimeSeries) Points() []TimePoint { return ts.points }
+
+// At returns point i.
+func (ts *TimeSeries) At(i int) TimePoint { return ts.points[i] }
+
+// Values returns just the values, in time order.
+func (ts *TimeSeries) Values() []float64 {
+	vs := make([]float64, len(ts.points))
+	for i, p := range ts.points {
+		vs[i] = p.V
+	}
+	return vs
+}
+
+// MaxValue returns the largest value, or 0 for an empty series.
+func (ts *TimeSeries) MaxValue() float64 {
+	max := 0.0
+	for i, p := range ts.points {
+		if i == 0 || p.V > max {
+			max = p.V
+		}
+	}
+	return max
+}
+
+// MeanValue returns the arithmetic mean of the values.
+func (ts *TimeSeries) MeanValue() float64 {
+	if len(ts.points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range ts.points {
+		sum += p.V
+	}
+	return sum / float64(len(ts.points))
+}
+
+// Welford is a streaming mean/variance accumulator (Welford's online
+// algorithm), used where storing every sample would be wasteful.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one value.
+func (w *Welford) Add(v float64) {
+	w.n++
+	delta := v - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (v - w.mean)
+}
+
+// Count reports the number of values recorded.
+func (w *Welford) Count() int { return w.n }
+
+// Mean reports the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance reports the running population variance (0 when n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Stddev reports the running population standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// AutoCorrelation estimates the lag-k autocorrelation of a series: the
+// correlation between x[t] and x[t+k] over the available pairs. It
+// returns 0 for degenerate inputs (fewer than k+2 points or zero
+// variance). The predictor diagnostics use it to characterise which
+// error structures the Markov correction can exploit.
+func AutoCorrelation(xs []float64, k int) float64 {
+	if k < 1 || len(xs) < k+2 {
+		return 0
+	}
+	n := len(xs)
+	mean := 0.0
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(n)
+	num, den := 0.0, 0.0
+	for t := 0; t < n; t++ {
+		d := xs[t] - mean
+		den += d * d
+		if t+k < n {
+			num += d * (xs[t+k] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Diff returns the first differences x[t+1]-x[t] of a series (length
+// n-1), used for trend diagnostics.
+func Diff(xs []float64) []float64 {
+	if len(xs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(xs)-1)
+	for i := 1; i < len(xs); i++ {
+		out[i-1] = xs[i] - xs[i-1]
+	}
+	return out
+}
+
+// MeanAbsError returns the mean absolute error between two equal-length
+// slices; it is used to score predictors in Fig. 10.
+func MeanAbsError(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: MeanAbsError length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(len(a))
+}
+
+// MeanRelError returns the mean relative error |a-b|/max(|b|, eps)
+// between predictions a and truth b.
+func MeanRelError(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: MeanRelError length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	const eps = 1e-9
+	sum := 0.0
+	for i := range a {
+		den := math.Abs(b[i])
+		if den < eps {
+			den = eps
+		}
+		sum += math.Abs(a[i]-b[i]) / den
+	}
+	return sum / float64(len(a))
+}

@@ -1,0 +1,417 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func seriesOf(vs ...float64) *Series {
+	var s Series
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return &s
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Len() != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	if s.Percentile(99) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	if s.CDF() != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := seriesOf(3, 1, 2)
+	if s.Min() != 1 || s.Max() != 3 || !almost(s.Mean(), 2) {
+		t.Fatalf("min/mean/max = %v/%v/%v", s.Min(), s.Mean(), s.Max())
+	}
+	if !almost(s.Sum(), 6) {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+	if s.At(0) != 3 || s.At(2) != 2 {
+		t.Fatal("arrival order not preserved")
+	}
+}
+
+func TestSeriesAddAfterQuery(t *testing.T) {
+	s := seriesOf(1, 2, 3)
+	_ = s.Max() // force sorted cache
+	s.Add(10)
+	if s.Max() != 10 {
+		t.Fatal("sorted cache not invalidated by Add")
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Series
+	s.AddDuration(1500 * time.Millisecond)
+	if !almost(s.At(0), 1500) {
+		t.Fatalf("AddDuration = %v ms, want 1500", s.At(0))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := seriesOf(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	if got := s.Percentile(0); !almost(got, 1) {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); !almost(got, 10) {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.Median(); !almost(got, 5.5) {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Percentile(90); !almost(got, 9.1) {
+		t.Fatalf("p90 = %v, want 9.1", got)
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	s := seriesOf(42)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := s.Percentile(p); got != 42 {
+			t.Fatalf("p%v = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(101) did not panic")
+		}
+	}()
+	seriesOf(1).Percentile(101)
+}
+
+func TestStddev(t *testing.T) {
+	s := seriesOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if got := s.Stddev(); !almost(got, 2) {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+	if seriesOf(5).Stddev() != 0 {
+		t.Fatal("single-sample stddev should be 0")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	s := seriesOf(1, 1, 2, 3)
+	pts := s.CDF()
+	want := []CDFPoint{{1, 0.5}, {2, 0.75}, {3, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("CDF = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if !almost(pts[i].Value, want[i].Value) || !almost(pts[i].Fraction, want[i].Fraction) {
+			t.Fatalf("CDF[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := seriesOf(1, 2, 3, 4, 5)
+	sum := s.Summarize()
+	if sum.Count != 5 || !almost(sum.Min, 1) || !almost(sum.Max, 5) || !almost(sum.Mean, 3) {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.String() == "" {
+		t.Fatal("summary String empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 9.9, 10, 100} {
+		h.Add(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Fatalf("under/over = %d/%d", h.Underflow(), h.Overflow())
+	}
+	if h.Bucket(0) != 2 { // 0 and 1.9
+		t.Fatalf("bucket0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 { // 2
+		t.Fatalf("bucket1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(4) != 1 { // 9.9
+		t.Fatalf("bucket4 = %d", h.Bucket(4))
+	}
+	lo, hi := h.BucketBounds(1)
+	if !almost(lo, 2) || !almost(hi, 4) {
+		t.Fatalf("bounds = [%v, %v)", lo, hi)
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid histogram did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(0, 1)
+	ts.Add(time.Second, 5)
+	ts.Add(time.Second, 3) // equal timestamps allowed
+	if ts.Len() != 3 {
+		t.Fatalf("len = %d", ts.Len())
+	}
+	if ts.MaxValue() != 5 {
+		t.Fatalf("max = %v", ts.MaxValue())
+	}
+	if !almost(ts.MeanValue(), 3) {
+		t.Fatalf("mean = %v", ts.MeanValue())
+	}
+	if got := ts.Values(); len(got) != 3 || got[1] != 5 {
+		t.Fatalf("values = %v", got)
+	}
+	if p := ts.At(1); p.T != time.Second || p.V != 5 {
+		t.Fatalf("At(1) = %+v", p)
+	}
+}
+
+func TestTimeSeriesBackwardsPanics(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards timestamp did not panic")
+		}
+	}()
+	ts.Add(0, 2)
+}
+
+func TestTimeSeriesEmpty(t *testing.T) {
+	var ts TimeSeries
+	if ts.MaxValue() != 0 || ts.MeanValue() != 0 {
+		t.Fatal("empty time series should report zeros")
+	}
+}
+
+func TestWelfordMatchesSeries(t *testing.T) {
+	s := seriesOf(2, 4, 4, 4, 5, 5, 7, 9)
+	var w Welford
+	for _, v := range s.Values() {
+		w.Add(v)
+	}
+	if !almost(w.Mean(), s.Mean()) {
+		t.Fatalf("welford mean %v != series mean %v", w.Mean(), s.Mean())
+	}
+	if !almost(w.Stddev(), s.Stddev()) {
+		t.Fatalf("welford stddev %v != series stddev %v", w.Stddev(), s.Stddev())
+	}
+	if w.Count() != s.Len() {
+		t.Fatal("count mismatch")
+	}
+}
+
+func TestWelfordSmall(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 {
+		t.Fatal("empty variance != 0")
+	}
+	w.Add(5)
+	if w.Variance() != 0 || w.Mean() != 5 {
+		t.Fatal("single-sample welford wrong")
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	if got := MeanAbsError([]float64{1, 2, 3}, []float64{2, 2, 1}); !almost(got, 1) {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+	if MeanAbsError(nil, nil) != 0 {
+		t.Fatal("empty MAE != 0")
+	}
+}
+
+func TestMeanRelError(t *testing.T) {
+	if got := MeanRelError([]float64{110}, []float64{100}); !almost(got, 0.1) {
+		t.Fatalf("MRE = %v, want 0.1", got)
+	}
+	// Zero truth values must not divide by zero.
+	got := MeanRelError([]float64{1}, []float64{0})
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("MRE with zero truth = %v", got)
+	}
+}
+
+func TestMeanErrorLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MeanAbsError([]float64{1}, []float64{1, 2})
+}
+
+func TestAutoCorrelation(t *testing.T) {
+	// A strictly alternating series has lag-1 autocorrelation near -1
+	// and lag-2 near +1.
+	var alt []float64
+	for i := 0; i < 100; i++ {
+		alt = append(alt, float64(i%2))
+	}
+	if ac := AutoCorrelation(alt, 1); ac > -0.9 {
+		t.Fatalf("alternating lag-1 AC = %v, want ~-1", ac)
+	}
+	if ac := AutoCorrelation(alt, 2); ac < 0.9 {
+		t.Fatalf("alternating lag-2 AC = %v, want ~+1", ac)
+	}
+	// A constant series has zero variance: defined as 0.
+	if ac := AutoCorrelation([]float64{5, 5, 5, 5, 5}, 1); ac != 0 {
+		t.Fatalf("constant AC = %v", ac)
+	}
+	// Degenerate inputs.
+	if AutoCorrelation(nil, 1) != 0 || AutoCorrelation([]float64{1, 2}, 5) != 0 ||
+		AutoCorrelation([]float64{1, 2, 3}, 0) != 0 {
+		t.Fatal("degenerate autocorrelation should be 0")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	got := Diff([]float64{1, 4, 9, 16})
+	want := []float64{3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Diff = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Diff = %v, want %v", got, want)
+		}
+	}
+	if Diff([]float64{1}) != nil || Diff(nil) != nil {
+		t.Fatal("short Diff should be nil")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by [min, max].
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Series
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.Len() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			if v < s.Min()-1e-9 || v > s.Max()+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF fractions are strictly increasing, end at 1, and values
+// are strictly increasing.
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Series
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+		}
+		pts := s.CDF()
+		if s.Len() == 0 {
+			return pts == nil
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Value <= pts[i-1].Value || pts[i].Fraction <= pts[i-1].Fraction {
+				return false
+			}
+		}
+		return almost(pts[len(pts)-1].Fraction, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram conserves samples: buckets + under + over = count.
+func TestPropertyHistogramConservation(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewHistogram(-100, 100, 13)
+		n := 0
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+			n++
+		}
+		total := h.Underflow() + h.Overflow()
+		for i := 0; i < h.NumBuckets(); i++ {
+			total += h.Bucket(i)
+		}
+		return total == n && h.Count() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the sorted cache always agrees with a fresh sort.
+func TestPropertySortedCache(t *testing.T) {
+	f := func(raw []float64, queries []uint8) bool {
+		var s Series
+		ref := []float64{}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+			ref = append(ref, v)
+			if i%3 == 0 && s.Len() > 0 {
+				_ = s.Median() // interleave queries to exercise cache invalidation
+			}
+		}
+		if len(ref) == 0 {
+			return true
+		}
+		sort.Float64s(ref)
+		return almost(s.Min(), ref[0]) && almost(s.Max(), ref[len(ref)-1])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

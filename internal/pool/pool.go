@@ -1,0 +1,470 @@
+// Package pool implements HotC's live container runtime pool (§IV.B):
+// a key-value store from canonical runtime configuration to the list
+// of live containers of that type, with the paper's three-state
+// lifecycle, Algorithm 1 (reuse an available runtime or start a new
+// one), Algorithm 2 (clean used containers and return them to the
+// pool), the 500-container / 80%-memory caps with oldest-first forced
+// eviction, and the §VII relaxed-key reuse extension.
+package pool
+
+import (
+	"fmt"
+	"time"
+
+	"hotc/internal/config"
+	"hotc/internal/container"
+	"hotc/internal/workload"
+)
+
+// DefaultMaxLive is the paper's live-container cap: "we set the
+// maximum number of live containers to 500" (§IV.B).
+const DefaultMaxLive = 500
+
+// DefaultMemThresholdPct is the paper's host memory threshold: "the
+// memory usage threshold as 80% in the host" (§IV.B).
+const DefaultMemThresholdPct = 80
+
+// Options configure a Pool.
+type Options struct {
+	// MaxLive caps the number of live containers (default 500).
+	MaxLive int
+	// MemUsedPct, when non-nil, reports current host memory usage in
+	// percent; above MemThresholdPct the pool evicts before growing.
+	// This stands in for the paper's used_mem/used_swap kernel
+	// heuristic.
+	MemUsedPct func() float64
+	// MemThresholdPct is the eviction threshold (default 80).
+	MemThresholdPct float64
+	// EnableRelaxed turns on the §VII fuzzy-key reuse extension.
+	EnableRelaxed bool
+	// Eviction selects the forced-eviction victim order (default
+	// EvictOldest, the paper's choice).
+	Eviction EvictionPolicy
+}
+
+// EvictionPolicy orders forced-eviction victims.
+type EvictionPolicy int
+
+const (
+	// EvictOldest terminates the longest-lived available container —
+	// the paper's §IV.B policy.
+	EvictOldest EvictionPolicy = iota
+	// EvictLRU terminates the least-recently-used available container,
+	// which preserves hot long-lived runtimes under skewed traffic.
+	EvictLRU
+)
+
+// String returns the policy name.
+func (e EvictionPolicy) String() string {
+	switch e {
+	case EvictOldest:
+		return "oldest-first"
+	case EvictLRU:
+		return "lru"
+	default:
+		return fmt.Sprintf("pool.EvictionPolicy(%d)", int(e))
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLive <= 0 {
+		o.MaxLive = DefaultMaxLive
+	}
+	if o.MemThresholdPct <= 0 {
+		o.MemThresholdPct = DefaultMemThresholdPct
+	}
+	return o
+}
+
+// Stats counts pool activity for reports and tests.
+type Stats struct {
+	// Hits are Acquire calls served by an existing available runtime.
+	Hits int
+	// RelaxedHits are hits served through the relaxed key.
+	RelaxedHits int
+	// Misses are Acquire calls that had to start a new container.
+	Misses int
+	// Evictions counts forced terminations (cap or memory pressure).
+	Evictions int
+	// Prewarmed counts containers created ahead of demand.
+	Prewarmed int
+	// Retired counts containers stopped by the controller scale-down.
+	Retired int
+}
+
+// Pool is the live container runtime pool. Like the engine it is
+// single-threaded: all calls must happen on the simulation goroutine.
+type Pool struct {
+	eng  *container.Engine
+	opts Options
+
+	// byKey tracks live pool containers per canonical key, in creation
+	// order (oldest first) so forced eviction can take the oldest.
+	byKey map[config.Key][]*container.Container
+	// byRelaxed indexes the same containers by relaxed key.
+	byRelaxed map[config.RelaxedKey][]*container.Container
+	// specs remembers the spec each key was created from, for
+	// delta computation on relaxed hits.
+	specs map[config.Key]container.Spec
+
+	stats Stats
+}
+
+// New creates a pool over the engine.
+func New(eng *container.Engine, opts Options) *Pool {
+	if eng == nil {
+		panic("pool: nil engine")
+	}
+	return &Pool{
+		eng:       eng,
+		opts:      opts.withDefaults(),
+		byKey:     make(map[config.Key][]*container.Container),
+		byRelaxed: make(map[config.RelaxedKey][]*container.Container),
+		specs:     make(map[config.Key]container.Spec),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Engine returns the underlying engine.
+func (p *Pool) Engine() *container.Engine { return p.eng }
+
+// Live reports the number of live containers tracked by the pool.
+func (p *Pool) Live() int {
+	n := 0
+	for _, list := range p.byKey {
+		n += len(list)
+	}
+	return n
+}
+
+// NumAvail reports how many containers of the given runtime type are
+// available for immediate reuse — the paper's num_avail[key].
+func (p *Pool) NumAvail(key config.Key) int {
+	n := 0
+	for _, c := range p.byKey[key] {
+		if c.State() == container.Available {
+			n++
+		}
+	}
+	return n
+}
+
+// NumLive reports how many live containers (available or busy) exist
+// for the key.
+func (p *Pool) NumLive(key config.Key) int { return len(p.byKey[key]) }
+
+// Keys returns the runtime keys currently present in the pool.
+func (p *Pool) Keys() []config.Key {
+	keys := make([]config.Key, 0, len(p.byKey))
+	for k := range p.byKey {
+		if len(p.byKey[k]) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// Acquire implements Algorithm 1: find a container with the same
+// runtime as a candidate to reuse; if one exists and is available,
+// reserve and return it immediately (reused=true, no simulated time
+// passes); otherwise start a new container (reused=false, after the
+// cold boot delay). The delta result is non-empty only for relaxed
+// hits and must be applied by the executor.
+func (p *Pool) Acquire(spec container.Spec, done func(c *container.Container, reused bool, delta config.Delta, err error)) {
+	if done == nil {
+		panic("pool: Acquire requires a completion callback")
+	}
+	key := spec.Key()
+
+	// Exact-key reuse: the first available candidate.
+	if c := p.firstAvailable(p.byKey[key]); c != nil {
+		if err := p.eng.Reserve(c); err != nil {
+			done(nil, false, config.Delta{}, fmt.Errorf("pool: reserving hit: %w", err))
+			return
+		}
+		p.stats.Hits++
+		done(c, true, config.Delta{}, nil)
+		return
+	}
+
+	// Relaxed-key reuse (§VII): a container whose namespace-level
+	// configuration matches can be adjusted at exec time.
+	if p.opts.EnableRelaxed {
+		if c := p.firstAvailable(p.byRelaxed[spec.Runtime.Relaxed()]); c != nil {
+			if err := p.eng.Reserve(c); err == nil {
+				p.stats.Hits++
+				p.stats.RelaxedHits++
+				delta := spec.Runtime.DeltaFrom(c.Spec.Runtime)
+				done(c, true, delta, nil)
+				return
+			}
+		}
+	}
+
+	// Cold path: enforce caps, then start a new container.
+	p.stats.Misses++
+	p.makeRoom()
+	p.eng.Create(spec, func(c *container.Container, err error) {
+		if err != nil {
+			done(nil, false, config.Delta{}, err)
+			return
+		}
+		p.admit(c)
+		if err := p.eng.Reserve(c); err != nil {
+			done(nil, false, config.Delta{}, fmt.Errorf("pool: reserving fresh container: %w", err))
+			return
+		}
+		done(c, false, config.Delta{}, nil)
+	})
+}
+
+// ReleaseUnused returns a reserved-but-unused container to the pool.
+func (p *Pool) ReleaseUnused(c *container.Container) {
+	p.eng.Unreserve(c)
+}
+
+// Release implements Algorithm 2: after the request finishes, clean
+// the used container's volume and make it available again
+// (num_avail[key]++ happens implicitly when the container returns to
+// the Available state). done may be nil.
+func (p *Pool) Release(c *container.Container, done func(error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	if c.State() == container.Stopped {
+		done(fmt.Errorf("pool: releasing stopped container %s", c.ID))
+		return
+	}
+	p.eng.CleanVolume(c, func(err error) {
+		// The pool may have grown past its cap while every container
+		// was busy (requests must still be served); shrink back now
+		// that a container has become evictable.
+		p.shrinkToCap()
+		done(err)
+	})
+}
+
+// shrinkToCap evicts oldest available containers until the pool is
+// back within its live cap and memory threshold.
+func (p *Pool) shrinkToCap() {
+	for p.Live() > p.opts.MaxLive {
+		if !p.EvictOldest() {
+			return
+		}
+	}
+	for p.memoryPressure() {
+		if !p.EvictOldest() {
+			return
+		}
+	}
+}
+
+// Prewarm creates and initialises n containers for the spec/app pair
+// ahead of demand (Algorithm 3's scale-up action). done is called once
+// per container. Prewarming respects the caps.
+func (p *Pool) Prewarm(spec container.Spec, app workload.App, n int, done func(error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	for i := 0; i < n; i++ {
+		if !p.roomToGrow() {
+			done(fmt.Errorf("pool: at capacity (%d live)", p.Live()))
+			continue
+		}
+		p.makeRoom()
+		p.eng.Create(spec, func(c *container.Container, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			p.admit(c)
+			p.stats.Prewarmed++
+			p.eng.Warmup(c, app, done)
+		})
+	}
+}
+
+// Retire stops up to n available containers of the given key
+// (Algorithm 3's scale-down action), oldest first. It returns how many
+// stops were initiated.
+func (p *Pool) Retire(key config.Key, n int) int {
+	stopped := 0
+	for _, c := range p.byKey[key] {
+		if stopped >= n {
+			break
+		}
+		if c.State() != container.Available {
+			continue
+		}
+		p.remove(c)
+		p.stats.Retired++
+		stopped++
+		p.eng.Stop(c, nil)
+	}
+	return stopped
+}
+
+// Stop removes a specific available container from the pool and stops
+// it (used by keep-alive expiry policies). It reports whether the
+// container was stopped; busy or reserved containers are left alone.
+func (p *Pool) Stop(c *container.Container) bool {
+	if c.State() != container.Available {
+		return false
+	}
+	p.remove(c)
+	p.stats.Retired++
+	p.eng.Stop(c, nil)
+	return true
+}
+
+// Available returns the available containers for a key, oldest first
+// (used by warm-up pingers to refresh idle runtimes).
+func (p *Pool) Available(key config.Key) []*container.Container {
+	var out []*container.Container
+	for _, c := range p.byKey[key] {
+		if c.State() == container.Available {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// EvictOldest force-stops one available container chosen by the pool's
+// eviction policy — by default the oldest (§IV.B: "the oldest live
+// container is forcibly terminated and releases the resources"), or
+// the least recently used under EvictLRU. It reports whether a
+// container was evicted.
+func (p *Pool) EvictOldest() bool {
+	var victim *container.Container
+	older := func(c, than *container.Container) bool {
+		if p.opts.Eviction == EvictLRU {
+			return c.LastUsedAt < than.LastUsedAt
+		}
+		return c.CreatedAt < than.CreatedAt
+	}
+	for _, list := range p.byKey {
+		for _, c := range list {
+			if c.State() != container.Available {
+				continue
+			}
+			if victim == nil || older(c, victim) {
+				victim = c
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	p.remove(victim)
+	p.stats.Evictions++
+	p.eng.Stop(victim, nil)
+	return true
+}
+
+// memoryPressure reports whether host memory usage exceeds the
+// threshold.
+func (p *Pool) memoryPressure() bool {
+	if p.opts.MemUsedPct == nil {
+		return false
+	}
+	return p.opts.MemUsedPct() >= p.opts.MemThresholdPct
+}
+
+// roomToGrow reports whether a new container may be created after
+// evictions.
+func (p *Pool) roomToGrow() bool {
+	return p.Live() < p.opts.MaxLive || p.anyAvailable()
+}
+
+func (p *Pool) anyAvailable() bool {
+	for _, list := range p.byKey {
+		for _, c := range list {
+			if c.State() == container.Available {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// makeRoom enforces the live-container cap and the memory threshold by
+// evicting oldest available containers ("If there exist too many
+// containers or fewer resources, the oldest live container is forcibly
+// terminated").
+func (p *Pool) makeRoom() {
+	for p.Live() >= p.opts.MaxLive {
+		if !p.EvictOldest() {
+			return // everything is busy; nothing to evict
+		}
+	}
+	for p.memoryPressure() {
+		if !p.EvictOldest() {
+			return
+		}
+	}
+}
+
+func (p *Pool) firstAvailable(list []*container.Container) *container.Container {
+	for _, c := range list {
+		if c.State() == container.Available {
+			return c
+		}
+	}
+	return nil
+}
+
+// admit registers a container in the pool indexes.
+func (p *Pool) admit(c *container.Container) {
+	key := c.Key()
+	p.byKey[key] = append(p.byKey[key], c)
+	rk := c.Spec.Runtime.Relaxed()
+	p.byRelaxed[rk] = append(p.byRelaxed[rk], c)
+	p.specs[key] = c.Spec
+}
+
+// remove drops a container from the pool indexes.
+func (p *Pool) remove(c *container.Container) {
+	key := c.Key()
+	p.byKey[key] = removeFrom(p.byKey[key], c)
+	if len(p.byKey[key]) == 0 {
+		delete(p.byKey, key)
+	}
+	rk := c.Spec.Runtime.Relaxed()
+	p.byRelaxed[rk] = removeFrom(p.byRelaxed[rk], c)
+	if len(p.byRelaxed[rk]) == 0 {
+		delete(p.byRelaxed, rk)
+	}
+}
+
+func removeFrom(list []*container.Container, c *container.Container) []*container.Container {
+	for i, x := range list {
+		if x == c {
+			return append(list[:i:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// IdleMemMB reports the memory consumed by idle pool containers.
+func (p *Pool) IdleMemMB() float64 {
+	return p.eng.IdleOverheadMemMB()
+}
+
+// OldestAge returns the age of the oldest live container at the given
+// virtual time, or zero when the pool is empty.
+func (p *Pool) OldestAge(now time.Duration) time.Duration {
+	var oldest *container.Container
+	for _, list := range p.byKey {
+		for _, c := range list {
+			if oldest == nil || c.CreatedAt < oldest.CreatedAt {
+				oldest = c
+			}
+		}
+	}
+	if oldest == nil {
+		return 0
+	}
+	return now - oldest.CreatedAt
+}

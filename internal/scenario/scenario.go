@@ -1,0 +1,418 @@
+// Package scenario runs declarative experiment specifications: a JSON
+// document describing the hardware profile, runtime-management policy,
+// deployed functions and workload, executed on the simulation
+// substrate. This lets experiments be versioned, shared and replayed
+// without writing Go:
+//
+//	{
+//	  "name": "burst-study",
+//	  "policy": "hotc",
+//	  "profile": "server",
+//	  "functions": [
+//	    {"name": "qr", "image": "python:3.8", "app": "qr-python"}
+//	  ],
+//	  "workload": {"kind": "burst", "rounds": 18, "intervalSec": 30}
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hotc"
+	"hotc/internal/workload"
+)
+
+// Spec is a runnable experiment description.
+type Spec struct {
+	// Name labels the run.
+	Name string `json:"name"`
+	// Profile is "server" (default) or "edge-pi".
+	Profile string `json:"profile,omitempty"`
+	// Policy is hotc|cold|keepalive|warmup|histogram (default hotc).
+	Policy string `json:"policy,omitempty"`
+	// Seed drives jitter (0 = noiseless).
+	Seed int64 `json:"seed,omitempty"`
+	// KeepAliveSec tunes the keepalive/warmup policies.
+	KeepAliveSec float64 `json:"keepAliveSec,omitempty"`
+	// ControlIntervalSec tunes HotC's control loop.
+	ControlIntervalSec float64 `json:"controlIntervalSec,omitempty"`
+	// Functions are the deployed functions; request class i maps to
+	// Functions[i % len].
+	Functions []FunctionSpec `json:"functions"`
+	// Workload is the request schedule.
+	Workload WorkloadSpec `json:"workload"`
+	// Cluster, when present, runs the workload on a multi-host HotC
+	// cluster instead of a single host (Policy is then ignored: every
+	// node runs HotC).
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
+}
+
+// ClusterSpec configures a multi-host run.
+type ClusterSpec struct {
+	// Nodes is the cluster size (default 3).
+	Nodes int `json:"nodes,omitempty"`
+	// Routing is round-robin|least-loaded|reuse-affinity (default
+	// reuse-affinity).
+	Routing string `json:"routing,omitempty"`
+}
+
+// FunctionSpec declares one function.
+type FunctionSpec struct {
+	// Name at the gateway.
+	Name string `json:"name"`
+	// Image reference; defaults to the app's image.
+	Image string `json:"image,omitempty"`
+	// Network mode (default bridge).
+	Network string `json:"network,omitempty"`
+	// Env entries (KEY=VALUE).
+	Env []string `json:"env,omitempty"`
+	// App is a built-in application name: qr-<lang>, random-<lang>,
+	// v3, tfapi, cassandra. Mutually exclusive with Profile.
+	App string `json:"app,omitempty"`
+	// Profile is a custom application cost profile. Mutually exclusive
+	// with App.
+	Profile *workload.Profile `json:"appProfile,omitempty"`
+	// MaxConcurrency caps simultaneous executions (0 = unlimited).
+	MaxConcurrency int `json:"maxConcurrency,omitempty"`
+}
+
+// WorkloadSpec declares the request schedule.
+type WorkloadSpec struct {
+	// Kind is serial|parallel|linear|exp|burst|campus|csv.
+	Kind string `json:"kind"`
+	// Count is the request count (serial).
+	Count int `json:"count,omitempty"`
+	// Rounds is the round count (parallel/linear/exp/burst).
+	Rounds int `json:"rounds,omitempty"`
+	// Threads is the client thread count (parallel).
+	Threads int `json:"threads,omitempty"`
+	// Start and Step shape the linear pattern (defaults 2, +2).
+	Start int `json:"start,omitempty"`
+	Step  int `json:"step,omitempty"`
+	// IntervalSec is the round interval (default 30).
+	IntervalSec float64 `json:"intervalSec,omitempty"`
+	// Decreasing reverses the exponential pattern.
+	Decreasing bool `json:"decreasing,omitempty"`
+	// Base/Factor/BurstRounds shape the burst pattern (defaults 8, 10,
+	// [4 8 12 16]).
+	Base        int   `json:"base,omitempty"`
+	Factor      int   `json:"factor,omitempty"`
+	BurstRounds []int `json:"burstRounds,omitempty"`
+	// Minutes and Scale shape the campus trace.
+	Minutes int     `json:"minutes,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	// File is the CSV schedule path (kind csv).
+	File string `json:"file,omitempty"`
+}
+
+// Parse reads a spec, rejecting unknown fields.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func (s *Spec) validate() error {
+	if len(s.Functions) == 0 {
+		return fmt.Errorf("scenario: spec needs at least one function")
+	}
+	seen := map[string]bool{}
+	for i, fn := range s.Functions {
+		if fn.Name == "" {
+			return fmt.Errorf("scenario: function %d needs a name", i)
+		}
+		if seen[fn.Name] {
+			return fmt.Errorf("scenario: duplicate function name %q", fn.Name)
+		}
+		seen[fn.Name] = true
+		if fn.App == "" && fn.Profile == nil {
+			return fmt.Errorf("scenario: function %q needs app or appProfile", fn.Name)
+		}
+		if fn.App != "" && fn.Profile != nil {
+			return fmt.Errorf("scenario: function %q has both app and appProfile", fn.Name)
+		}
+	}
+	if s.Workload.Kind == "" {
+		return fmt.Errorf("scenario: workload kind is required")
+	}
+	return nil
+}
+
+// resolveApp maps a built-in app name to its App.
+func resolveApp(name string) (hotc.App, error) {
+	switch {
+	case strings.HasPrefix(name, "qr-"):
+		return hotc.AppQR(strings.TrimPrefix(name, "qr-"))
+	case strings.HasPrefix(name, "random-"):
+		return hotc.AppRandomNumber(strings.TrimPrefix(name, "random-"))
+	case name == "v3":
+		return hotc.AppV3(), nil
+	case name == "tfapi":
+		return hotc.AppTFAPI(), nil
+	case name == "cassandra":
+		return hotc.AppCassandra(), nil
+	default:
+		return hotc.App{}, fmt.Errorf("scenario: unknown app %q (want qr-<lang>, random-<lang>, v3, tfapi, cassandra)", name)
+	}
+}
+
+func (w WorkloadSpec) build(classes int, seed int64) (hotc.Workload, error) {
+	interval := time.Duration(w.IntervalSec * float64(time.Second))
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	orDefault := func(v, d int) int {
+		if v <= 0 {
+			return d
+		}
+		return v
+	}
+	switch w.Kind {
+	case "serial":
+		return hotc.SerialWorkload(interval, orDefault(w.Count, 20)), nil
+	case "parallel":
+		return hotc.ParallelWorkload(orDefault(w.Threads, 10), orDefault(w.Rounds, 10), interval), nil
+	case "linear":
+		start := orDefault(w.Start, 2)
+		step := w.Step
+		if step == 0 {
+			step = 2
+		}
+		return hotc.LinearWorkload(start, step, orDefault(w.Rounds, 10), interval), nil
+	case "exp":
+		return hotc.ExponentialWorkload(orDefault(w.Rounds, 7), interval, w.Decreasing), nil
+	case "burst":
+		bursts := w.BurstRounds
+		if len(bursts) == 0 {
+			bursts = []int{4, 8, 12, 16}
+		}
+		return hotc.BurstWorkload(orDefault(w.Base, 8), orDefault(w.Factor, 10),
+			bursts, orDefault(w.Rounds, 18), interval), nil
+	case "campus":
+		scale := w.Scale
+		if scale <= 0 {
+			scale = 20
+		}
+		return hotc.CampusWorkload(seed, scale, orDefault(w.Minutes, 60), classes), nil
+	case "csv":
+		if w.File == "" {
+			return nil, fmt.Errorf("scenario: csv workload needs a file")
+		}
+		f, err := os.Open(w.File)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		defer f.Close()
+		return hotc.ReadWorkloadCSV(f)
+	default:
+		return nil, fmt.Errorf("scenario: unknown workload kind %q", w.Kind)
+	}
+}
+
+// Outcome is the result of a scenario run.
+type Outcome struct {
+	// Name echoes the spec name.
+	Name string
+	// Policy is the display name of the policy that ran.
+	Policy string
+	// Stats summarises the replay.
+	Stats hotc.Stats
+	// PerFunction breaks cold starts down by function.
+	PerFunction map[string]FunctionOutcome
+	// LiveContainers is the pool size at the end of the run
+	// (single-host runs only).
+	LiveContainers int
+	// ServedByNode reports per-node request counts (cluster runs only).
+	ServedByNode map[string]int
+}
+
+// FunctionOutcome is the per-function breakdown.
+type FunctionOutcome struct {
+	Requests   int
+	ColdStarts int
+	MeanMS     float64
+}
+
+// Run executes the spec.
+func (s *Spec) Run() (*Outcome, error) {
+	if s.Cluster != nil {
+		return s.runCluster()
+	}
+	sim, err := hotc.NewSimulation(hotc.Config{
+		Profile:         hotc.Profile(orString(s.Profile, string(hotc.ProfileServer))),
+		Policy:          hotc.Policy(orString(s.Policy, string(hotc.PolicyHotC))),
+		Seed:            s.Seed,
+		KeepAliveWindow: time.Duration(s.KeepAliveSec * float64(time.Second)),
+		ControlInterval: time.Duration(s.ControlIntervalSec * float64(time.Second)),
+		LocalImages:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sim.Close()
+
+	names := make([]string, len(s.Functions))
+	for i, fn := range s.Functions {
+		var app hotc.App
+		if fn.Profile != nil {
+			app, err = fn.Profile.App()
+		} else {
+			app, err = resolveApp(fn.App)
+		}
+		if err != nil {
+			return nil, err
+		}
+		image := fn.Image
+		if image == "" {
+			image = app.Image
+		}
+		err = sim.Deploy(hotc.FunctionSpec{
+			Name: fn.Name,
+			Runtime: hotc.Runtime{
+				Image:   image,
+				Network: fn.Network,
+				Env:     fn.Env,
+			},
+			App:            app,
+			MaxConcurrency: fn.MaxConcurrency,
+		})
+		if err != nil {
+			return nil, err
+		}
+		names[i] = fn.Name
+	}
+
+	w, err := s.Workload.build(len(names), s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	results, err := sim.Replay(w, func(c int) string { return names[c%len(names)] })
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{
+		Name:           s.Name,
+		Policy:         sim.PolicyName(),
+		Stats:          hotc.Summarize(results),
+		PerFunction:    make(map[string]FunctionOutcome),
+		LiveContainers: sim.LiveContainers(),
+	}
+	sums := map[string]float64{}
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		fo := out.PerFunction[r.Function]
+		fo.Requests++
+		if !r.Reused {
+			fo.ColdStarts++
+		}
+		sums[r.Function] += float64(r.Latency) / float64(time.Millisecond)
+		out.PerFunction[r.Function] = fo
+	}
+	for name, fo := range out.PerFunction {
+		if fo.Requests > 0 {
+			fo.MeanMS = sums[name] / float64(fo.Requests)
+			out.PerFunction[name] = fo
+		}
+	}
+	return out, nil
+}
+
+// runCluster executes the spec on a multi-host cluster.
+func (s *Spec) runCluster() (*Outcome, error) {
+	cs, err := hotc.NewClusterSimulation(hotc.ClusterConfig{
+		Nodes:           s.Cluster.Nodes,
+		Profile:         hotc.Profile(orString(s.Profile, string(hotc.ProfileServer))),
+		Routing:         hotc.Routing(orString(s.Cluster.Routing, string(hotc.RoutingReuseAffinity))),
+		Seed:            s.Seed,
+		ControlInterval: time.Duration(s.ControlIntervalSec * float64(time.Second)),
+		LocalImages:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cs.Close()
+
+	names := make([]string, len(s.Functions))
+	for i, fn := range s.Functions {
+		var app hotc.App
+		if fn.Profile != nil {
+			app, err = fn.Profile.App()
+		} else {
+			app, err = resolveApp(fn.App)
+		}
+		if err != nil {
+			return nil, err
+		}
+		image := fn.Image
+		if image == "" {
+			image = app.Image
+		}
+		err = cs.Deploy(hotc.FunctionSpec{
+			Name:    fn.Name,
+			Runtime: hotc.Runtime{Image: image, Network: fn.Network, Env: fn.Env},
+			App:     app,
+		})
+		if err != nil {
+			return nil, err
+		}
+		names[i] = fn.Name
+	}
+
+	w, err := s.Workload.build(len(names), s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	results, err := cs.Replay(w, func(c int) string { return names[c%len(names)] })
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{
+		Name:         s.Name,
+		Policy:       fmt.Sprintf("hotc-cluster(%d nodes)", len(cs.NodeNames())),
+		Stats:        hotc.SummarizeCluster(results),
+		PerFunction:  make(map[string]FunctionOutcome),
+		ServedByNode: cs.ServedByNode(),
+	}
+	sums := map[string]float64{}
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		fo := out.PerFunction[r.Function]
+		fo.Requests++
+		if !r.Reused {
+			fo.ColdStarts++
+		}
+		sums[r.Function] += float64(r.Latency) / float64(time.Millisecond)
+		out.PerFunction[r.Function] = fo
+	}
+	for name, fo := range out.PerFunction {
+		if fo.Requests > 0 {
+			fo.MeanMS = sums[name] / float64(fo.Requests)
+			out.PerFunction[name] = fo
+		}
+	}
+	return out, nil
+}
+
+func orString(v, d string) string {
+	if v == "" {
+		return d
+	}
+	return v
+}

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedScenarios parses and runs every spec in the repository's
+// scenarios/ directory, so the shipped cookbook can never rot.
+func TestShippedScenarios(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading scenarios dir: %v", err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected a cookbook of specs, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := Parse(data)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			out, err := spec.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if out.Stats.Requests == 0 {
+				t.Fatal("scenario produced no requests")
+			}
+			if out.Stats.Requests != out.Stats.ColdStarts+out.Stats.Reused {
+				t.Fatalf("stats inconsistent: %+v", out.Stats)
+			}
+			for name, fo := range out.PerFunction {
+				if fo.Requests > 0 && fo.MeanMS <= 0 {
+					t.Fatalf("function %s has requests but zero mean", name)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,285 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewStartsAtZero(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", s.Pending())
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	s := New()
+	var fired Time = -1
+	s.After(5*time.Second, func() { fired = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5*time.Second {
+		t.Fatalf("event fired at %v, want 5s", fired)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", s.Now())
+	}
+}
+
+func TestEventsFireInDeadlineOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	s.After(1*time.Second, func() { order = append(order, 1) })
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { order = append(order, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-instant events fired out of order: %v", order)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var hit []Time
+	s.After(time.Second, func() {
+		hit = append(hit, s.Now())
+		s.After(time.Second, func() {
+			hit = append(hit, s.Now())
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hit) != 2 || hit[0] != time.Second || hit[1] != 2*time.Second {
+		t.Fatalf("hit = %v, want [1s 2s]", hit)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	ev := s.After(time.Second, func() { fired = true })
+	if !ev.Cancel() {
+		t.Fatal("Cancel() = false on pending event")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel() = true, want false")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New()
+	ev := s.After(time.Second, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Cancel() {
+		t.Fatal("Cancel() after firing = true, want false")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	s := New()
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		d := time.Duration(i) * time.Second
+		s.After(d, func() { fired = append(fired, s.Now()) })
+	}
+	if err := s.RunUntil(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", s.Pending())
+	}
+}
+
+func TestRunUntilAdvancesWithNoEvents(t *testing.T) {
+	s := New()
+	if err := s.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != time.Minute {
+		t.Fatalf("Now() = %v, want 1m", s.Now())
+	}
+}
+
+func TestRunUntilPastReturnsError(t *testing.T) {
+	s := New()
+	s.Sleep(time.Minute)
+	if err := s.RunUntil(time.Second); err == nil {
+		t.Fatal("RunUntil into the past did not error")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	count := 0
+	stop := s.Every(time.Second, func() {
+		count++
+		if count == 5 {
+			// stopping from inside the callback must halt the series
+		}
+	})
+	s.Sleep(5 * time.Second)
+	stop()
+	s.Sleep(10 * time.Second)
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5", count)
+	}
+}
+
+func TestEveryStopInsideCallback(t *testing.T) {
+	s := New()
+	count := 0
+	var stop func()
+	stop = s.Every(time.Second, func() {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("ticks = %d, want 3", count)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.Sleep(time.Minute)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At in the past did not panic")
+		}
+	}()
+	s.At(time.Second, func() {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	s.After(-time.Second, func() {})
+}
+
+func TestEventLimit(t *testing.T) {
+	s := New()
+	s.SetEventLimit(10)
+	var loop func()
+	loop = func() { s.After(time.Millisecond, loop) }
+	s.After(time.Millisecond, loop)
+	if err := s.Run(); err != ErrEventLimit {
+		t.Fatalf("Run() = %v, want ErrEventLimit", err)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", s.Fired())
+	}
+}
+
+// Property: no matter what (non-negative) delays are scheduled, events
+// fire in non-decreasing time order and the clock never goes backwards.
+func TestPropertyMonotonicTime(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		var fireTimes []Time
+		for _, d := range delays {
+			dd := time.Duration(d) * time.Millisecond
+			s.After(dd, func() { fireTimes = append(fireTimes, s.Now()) })
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return len(fireTimes) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving Step and RunUntil never loses or duplicates
+// events.
+func TestPropertyStepRunUntilEquivalence(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() (*Scheduler, *int) {
+			s := New()
+			count := new(int)
+			for i := 0; i < int(n); i++ {
+				s.After(time.Duration(r.Intn(1000))*time.Millisecond, func() { *count++ })
+			}
+			return s, count
+		}
+		r = rand.New(rand.NewSource(seed))
+		s1, c1 := mk()
+		if err := s1.Run(); err != nil {
+			return false
+		}
+		r = rand.New(rand.NewSource(seed))
+		s2, c2 := mk()
+		for s2.Step() {
+		}
+		return *c1 == *c2 && *c1 == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

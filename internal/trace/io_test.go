@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Burst{Base: 3, Factor: 5, BurstRounds: []int{1}, Rounds: 3, Interval: 30 * time.Second}.Generate()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("len = %d, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("row %d: %+v != %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestCSVEmptySchedule(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("len = %d", len(back))
+	}
+}
+
+func TestReadCSVSortsByTime(t *testing.T) {
+	in := "at_ms,class,round\n2000.000,0,1\n1000.000,1,0\n"
+	reqs, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqs[0].At != time.Second || reqs[1].At != 2*time.Second {
+		t.Fatalf("not sorted: %+v", reqs)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                                 // no header
+		"x,y,z\n",                          // wrong header
+		"at_ms,class,round\nnope,0,0\n",    // bad time
+		"at_ms,class,round\n-5,0,0\n",      // negative time
+		"at_ms,class,round\n1,zero,0\n",    // bad class
+		"at_ms,class,round\n1,-1,0\n",      // negative class
+		"at_ms,class,round\n1,0,bad\n",     // bad round
+		"at_ms,class,round\n1,0,-2\n",      // negative round
+		"at_ms,class,round\n1,0\n",         // wrong field count
+		"at_ms,class,round\n1,0,0,extra\n", // wrong field count
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+// Property: any generated schedule survives a CSV round trip exactly
+// (times have sub-millisecond precision in the patterns used here).
+func TestPropertyCSVRoundTrip(t *testing.T) {
+	f := func(n uint8, interval uint8, classes uint8) bool {
+		p := Parallel{
+			Threads:  int(classes%5) + 1,
+			Interval: time.Duration(interval%60+1) * time.Second,
+			Rounds:   int(n % 20),
+		}
+		orig := p.Generate()
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, orig); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(orig) {
+			return false
+		}
+		for i := range orig {
+			if back[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseProfiles(t *testing.T) {
+	data := []byte(`[
+	  {"name":"api","image":"python:3.8","language":"python",
+	   "appInitMs":300,"execMs":45,"cpuPct":6,"memMB":80},
+	  {"name":"worker","image":"golang:1.12","language":"go",
+	   "appInitMs":100,"execMs":500,"cpuPct":20,"memMB":200}
+	]`)
+	apps, err := ParseProfiles(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 2 {
+		t.Fatalf("len = %d", len(apps))
+	}
+	api := apps[0]
+	if api.Name != "api" || api.Lang != Python {
+		t.Fatalf("api = %+v", api)
+	}
+	if api.AppInit != 300*time.Millisecond || api.Exec != 45*time.Millisecond {
+		t.Fatalf("api durations = %v/%v", api.AppInit, api.Exec)
+	}
+	if api.InitCost() != Python.RuntimeInit()+300*time.Millisecond {
+		t.Fatal("InitCost composition wrong")
+	}
+}
+
+func TestParseProfilesErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`[]`,
+		`not json`,
+		`[{"name":"x","image":"a","language":"cobol","execMs":1}]`,
+		`[{"name":"x","image":"","language":"go","execMs":1}]`,
+		`[{"name":"x","image":"a","language":"go","execMs":0}]`,
+		`[{"name":"x","image":"a","language":"go","execMs":1,"cpuPct":-1}]`,
+		`[{"name":"x","image":"a","language":"go","execMs":1,"bogus":2}]`,
+		`[{"name":"x","image":"a","language":"go","execMs":1},
+		  {"name":"x","image":"b","language":"go","execMs":1}]`,
+	}
+	for i, in := range cases {
+		if _, err := ParseProfiles([]byte(in)); err == nil {
+			t.Errorf("case %d accepted: %s", i, in)
+		}
+	}
+}
+
+func TestProfilesRoundTrip(t *testing.T) {
+	orig := []App{V3App(), TFAPIApp(), QRApp(Node)}
+	data, err := MarshalProfiles(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseProfiles(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("len = %d", len(back))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("app %d changed: %+v != %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestParseLanguage(t *testing.T) {
+	l, err := ParseLanguage(" Java ")
+	if err != nil || l != Java {
+		t.Fatalf("ParseLanguage = %v/%v", l, err)
+	}
+	if _, err := ParseLanguage("fortran"); err == nil {
+		t.Fatal("unknown language accepted")
+	}
+}

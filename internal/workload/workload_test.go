@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"hotc/internal/costmodel"
+	"hotc/internal/network"
+)
+
+func TestLanguageNames(t *testing.T) {
+	want := map[Language]string{Go: "go", Python: "python", Node: "node", Java: "java"}
+	for l, name := range want {
+		if l.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(l), l.String(), name)
+		}
+	}
+	if Language(42).String() == "" {
+		t.Fatal("unknown language should still render")
+	}
+}
+
+func TestRuntimeInitOrdering(t *testing.T) {
+	// Fig. 4(b): compiled Go starts fastest; Java (compile+interpret)
+	// slowest.
+	if !(Go.RuntimeInit() < Node.RuntimeInit() &&
+		Node.RuntimeInit() < Python.RuntimeInit() &&
+		Python.RuntimeInit() < Java.RuntimeInit()) {
+		t.Fatal("runtime init ordering should be go < node < python < java")
+	}
+}
+
+func TestRuntimeInitInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid language did not panic")
+		}
+	}()
+	Language(42).RuntimeInit()
+}
+
+func TestValidate(t *testing.T) {
+	if err := V3App().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []App{
+		{},
+		{Name: "x"},
+		{Name: "x", Exec: time.Second, AppInit: -1},
+	}
+	for i, a := range bad {
+		if a.Validate() == nil {
+			t.Errorf("case %d: invalid app accepted", i)
+		}
+	}
+}
+
+func TestAllAppsValid(t *testing.T) {
+	apps := []App{V3App(), TFAPIApp(), Cassandra()}
+	for _, l := range Languages() {
+		apps = append(apps, RandomNumber(l), S3Download(l), QRApp(l))
+	}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+		if a.Image == "" {
+			t.Errorf("%s: no image", a.Name)
+		}
+	}
+}
+
+// coldTotal reproduces the latency composition a fresh container pays:
+// engine boot under the app's default (bridge) network, runtime init,
+// app init, then the first (cache-cold) execution.
+func coldTotal(cm *costmodel.Model, a App) time.Duration {
+	boot := network.Bridge.BootCost(cm)
+	return boot + cm.InitCost(a.InitCost()) + cm.ColdExecCost(a.Exec)
+}
+
+// Fig. 4(b): Go cold/hot ratio ~3.06; Java cold roughly doubles its
+// hot execution.
+func TestFig4bColdHotRatios(t *testing.T) {
+	cm := costmodel.New(costmodel.Server())
+
+	goApp := S3Download(Go)
+	ratio := float64(coldTotal(cm, goApp)) / float64(cm.ExecCost(goApp.Exec))
+	if ratio < 2.8 || ratio > 3.3 {
+		t.Fatalf("Go cold/hot = %.2f, want ~3.06", ratio)
+	}
+
+	javaApp := S3Download(Java)
+	jr := float64(coldTotal(cm, javaApp)) / float64(cm.ExecCost(javaApp.Exec))
+	if jr < 1.8 || jr > 2.3 {
+		t.Fatalf("Java cold/hot = %.2f, want ~2", jr)
+	}
+
+	// Java's absolute cold latency exceeds Go's hot latency by a lot
+	// (the "already long execution in Java").
+	if coldTotal(cm, javaApp) < coldTotal(cm, goApp) {
+		t.Fatal("Java cold start should be the longest")
+	}
+}
+
+// Fig. 8(a) calibration: reuse removes boot+init; the reduction should
+// be ~33.2% for v3-app and ~23.9% for TF-API-app on the server.
+func TestFig8ServerReductions(t *testing.T) {
+	cm := costmodel.New(costmodel.Server())
+	check := func(a App, want float64) {
+		cold := coldTotal(cm, a)
+		warm := cm.ExecCost(a.Exec)
+		red := 1 - float64(warm)/float64(cold)
+		if red < want-0.03 || red > want+0.03 {
+			t.Errorf("%s reduction = %.3f, want ~%.3f", a.Name, red, want)
+		}
+	}
+	check(V3App(), 0.332)
+	check(TFAPIApp(), 0.239)
+}
+
+// Fig. 9: the QR conversion is ~60ms; the cold path dwarfs it.
+func TestFig9QRComposition(t *testing.T) {
+	cm := costmodel.New(costmodel.Server())
+	for _, l := range Languages() {
+		a := QRApp(l)
+		warm := cm.ExecCost(a.Exec)
+		if warm != 60*time.Millisecond {
+			t.Fatalf("%s warm exec = %v, want 60ms", a.Name, warm)
+		}
+		cold := coldTotal(cm, a)
+		if float64(cold) < 3*float64(warm) {
+			t.Fatalf("%s cold %v should dwarf warm %v", a.Name, cold, warm)
+		}
+	}
+}
+
+func TestInitCostComposition(t *testing.T) {
+	a := V3App()
+	if a.InitCost() != a.Lang.RuntimeInit()+a.AppInit {
+		t.Fatal("InitCost must be runtime init + app init")
+	}
+}
+
+func TestCassandraIsHeavy(t *testing.T) {
+	c := Cassandra()
+	if c.MemMB < 1000 || c.CPUPct < 20 {
+		t.Fatalf("Cassandra should be a heavy workload: %+v", c)
+	}
+	if c.Lang != Java {
+		t.Fatal("Cassandra runs on the JVM")
+	}
+}
