@@ -34,6 +34,7 @@ var experiments = map[string]func() *bench.Report{
 	"fig14":       bench.Fig14,
 	"fig15":       bench.Fig15,
 	"ablations":   bench.Ablations,
+	"chaos":       bench.Chaos,
 	"shootout":    bench.PolicyShootout,
 	"relatedwork": bench.RelatedWork,
 	"cluster":     bench.ClusterStudy,

@@ -142,11 +142,27 @@ func runSpec(path string) {
 		fatal(err)
 	}
 	fmt.Printf("scenario %q (policy %s)\n", out.Name, out.Policy)
-	fmt.Printf("requests=%d cold=%d reused=%d mean=%.2fms p99=%.2fms max=%.2fms live=%d\n",
-		out.Stats.Requests, out.Stats.ColdStarts, out.Stats.Reused,
+	fmt.Printf("requests=%d errors=%d cold=%d reused=%d mean=%.2fms p99=%.2fms max=%.2fms live=%d\n",
+		out.Stats.Requests, out.Stats.Errors, out.Stats.ColdStarts, out.Stats.Reused,
 		out.Stats.MeanMS, out.Stats.P99MS, out.Stats.MaxMS, out.LiveContainers)
 	if len(out.ServedByNode) > 0 {
 		fmt.Printf("served per node: %v\n", out.ServedByNode)
+	}
+	if out.Faults.Total() > 0 {
+		fmt.Printf("injected faults: create-fails=%d exec-crashes=%d corruptions=%d slow-starts=%d\n",
+			out.Faults.CreateFails, out.Faults.ExecCrashes, out.Faults.Corruptions, out.Faults.SlowStarts)
+	}
+	if len(out.Resilience) > 0 {
+		keys := make([]string, 0, len(out.Resilience))
+		for k := range out.Resilience {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Print("resilience:")
+		for _, k := range keys {
+			fmt.Printf(" %s=%d", k, out.Resilience[k])
+		}
+		fmt.Println()
 	}
 	names := make([]string, 0, len(out.PerFunction))
 	for name := range out.PerFunction {

@@ -31,6 +31,7 @@ import (
 	"hotc/internal/core"
 	"hotc/internal/costmodel"
 	"hotc/internal/faas"
+	"hotc/internal/faults"
 	"hotc/internal/host"
 	"hotc/internal/image"
 	"hotc/internal/metrics"
@@ -128,6 +129,72 @@ type Config struct {
 	// the paper's locally-stored images (default true behaviour is
 	// opt-in via this flag).
 	LocalImages bool
+	// Faults, when non-nil, attaches a deterministic fault injector to
+	// the engine: failed creates, exec crashes, silent container
+	// corruption and slow starts, at per-runtime-key rates with burst
+	// windows. See FaultsConfig.
+	Faults *FaultsConfig
+	// Resilience, when non-nil, arms the gateway's full resilience
+	// machinery (exponential-backoff retries, exec fallback, per-key
+	// circuit breaking). Nil keeps the seed behaviour: one linear
+	// retry, no breaker. Use DefaultResilience for sane chaos defaults.
+	Resilience *ResilienceConfig
+}
+
+// FaultsConfig specifies injected faults; it is JSON-serialisable and
+// embeddable in scenario files.
+type FaultsConfig = faults.Config
+
+// FaultRule sets fault rates for the runtime keys it matches.
+type FaultRule = faults.Rule
+
+// FaultBurst is a virtual-time window multiplying a rule's rates.
+type FaultBurst = faults.Burst
+
+// FaultStats counts injected faults per kind.
+type FaultStats = faults.Stats
+
+// ResilienceConfig tunes how the gateway absorbs faults.
+type ResilienceConfig struct {
+	// MaxAcquireRetries bounds retries of a failed runtime acquisition.
+	MaxAcquireRetries int
+	// RetryBackoff is the delay before the first retry and the base of
+	// the exponential schedule.
+	RetryBackoff time.Duration
+	// BackoffFactor grows the delay per attempt.
+	BackoffFactor float64
+	// BackoffMax caps the retry delay.
+	BackoffMax time.Duration
+	// BackoffJitter spreads delays by the given fraction (seeded from
+	// Config.Seed) to avoid retry lockstep.
+	BackoffJitter float64
+	// ExecRetries bounds transparent fallbacks after a failed
+	// execution: the suspect container is quarantined and a fresh one
+	// acquired.
+	ExecRetries int
+	// BreakerThreshold trips a per-runtime-key circuit breaker after
+	// this many consecutive acquire failures; while open, requests
+	// degrade to dedicated cold starts instead of erroring. 0 disables.
+	BreakerThreshold int
+	// BreakerOpenFor is the open window before a half-open probe.
+	BreakerOpenFor time.Duration
+}
+
+// DefaultResilience is the recommended chaos-ready tuning: four
+// acquire retries from 50ms doubling to 2s with 20% jitter, two exec
+// fallbacks, and a breaker tripping after five consecutive failures
+// with a 30s open window.
+func DefaultResilience() ResilienceConfig {
+	return ResilienceConfig{
+		MaxAcquireRetries: 4,
+		RetryBackoff:      50 * time.Millisecond,
+		BackoffFactor:     2,
+		BackoffMax:        2 * time.Second,
+		BackoffJitter:     0.2,
+		ExecRetries:       2,
+		BreakerThreshold:  5,
+		BreakerOpenFor:    30 * time.Second,
+	}
 }
 
 // FunctionSpec describes a function to deploy.
@@ -199,6 +266,10 @@ type RequestResult struct {
 	Round int
 	// Err is non-nil if the request failed.
 	Err error
+	// Faults counts the resilience events (acquire retries, exec
+	// fallbacks, quarantines, breaker transitions, degraded cold
+	// starts) the request went through; 0 for an untroubled request.
+	Faults int
 }
 
 // Simulation is a deterministic serverless deployment: engine,
@@ -212,6 +283,7 @@ type Simulation struct {
 	hostM    *host.Host
 	hotc     *core.HotC
 	provider faas.Provider
+	injector *faults.Injector
 }
 
 // NewSimulation wires a Simulation from the Config.
@@ -248,6 +320,17 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		MemUsedPct:      s.hostM.UsedMemPct,
 		EnableRelaxed:   cfg.EnableRelaxedMatching,
 	}
+	if cfg.Faults != nil {
+		inj, err := faults.New(*cfg.Faults, sched.Now)
+		if err != nil {
+			return nil, err
+		}
+		inj.Attach(eng)
+		s.injector = inj
+		// Corrupted containers are caught at the pool boundary: the
+		// health check fails them on acquire and they are quarantined.
+		poolOpts.HealthCheck = inj.HealthCheck
+	}
 	switch cfg.Policy {
 	case "", PolicyHotC:
 		h := core.New(eng, core.Options{Pool: poolOpts, Interval: cfg.ControlInterval})
@@ -266,6 +349,21 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		return nil, fmt.Errorf("hotc: unknown policy %q", cfg.Policy)
 	}
 	s.gateway = faas.NewGateway(eng, s.provider)
+	if r := cfg.Resilience; r != nil {
+		s.gateway.MaxAcquireRetries = r.MaxAcquireRetries
+		if r.RetryBackoff > 0 {
+			s.gateway.RetryBackoff = r.RetryBackoff
+		}
+		s.gateway.BackoffFactor = r.BackoffFactor
+		s.gateway.BackoffMax = r.BackoffMax
+		s.gateway.BackoffJitter = r.BackoffJitter
+		if r.BackoffJitter > 0 {
+			s.gateway.BackoffRng = rng.New(cfg.Seed).Split("gateway-backoff")
+		}
+		s.gateway.ExecRetries = r.ExecRetries
+		s.gateway.BreakerThreshold = r.BreakerThreshold
+		s.gateway.BreakerOpenFor = r.BreakerOpenFor
+	}
 	return s, nil
 }
 
@@ -360,6 +458,7 @@ func (s *Simulation) Replay(w Workload, classFn func(class int) string) ([]Reque
 			Reused:     r.Reused,
 			Round:      r.Request.Round,
 			Err:        r.Err,
+			Faults:     len(r.Faults),
 		}
 	}
 	return out, nil
@@ -419,6 +518,22 @@ func (s *Simulation) HostMemMB() float64 { return s.hostM.UsedMemMB() }
 // PolicyName reports the active policy's display name.
 func (s *Simulation) PolicyName() string { return s.provider.Name() }
 
+// FaultStats reports the injected-fault counters; zero when the
+// simulation runs without a fault config.
+func (s *Simulation) FaultStats() FaultStats {
+	if s.injector == nil {
+		return FaultStats{}
+	}
+	return s.injector.Stats()
+}
+
+// ResilienceCounters snapshots the gateway's resilience accounting:
+// acquire retries, exec fallbacks, quarantines, breaker trips/closes,
+// degraded requests and failed requests, keyed by counter name.
+func (s *Simulation) ResilienceCounters() map[string]int {
+	return s.gateway.ResilienceCounters().Snapshot()
+}
+
 // Close stops background machinery (HotC's control loop, warm-up
 // pingers).
 func (s *Simulation) Close() {
@@ -430,11 +545,13 @@ func (s *Simulation) Close() {
 	}
 }
 
-// Stats summarises a replay.
+// Stats summarises a replay. Requests counts successful requests
+// only; failed ones are tallied in Errors.
 type Stats struct {
 	Requests   int
 	ColdStarts int
 	Reused     int
+	Errors     int
 	MeanMS     float64
 	P99MS      float64
 	MaxMS      float64
@@ -446,6 +563,7 @@ func Summarize(results []RequestResult) Stats {
 	var lat metrics.Series
 	for _, r := range results {
 		if r.Err != nil {
+			st.Errors++
 			continue
 		}
 		st.Requests++
@@ -460,7 +578,7 @@ func Summarize(results []RequestResult) Stats {
 		return st
 	}
 	st.MeanMS = lat.Mean()
-	st.P99MS = lat.Percentile(99)
+	st.P99MS = lat.P99()
 	st.MaxMS = lat.Max()
 	return st
 }

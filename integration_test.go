@@ -236,3 +236,70 @@ func TestIntegrationDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// Satellite of the resilience PR: at a 5% create-fail + 1% exec-crash
+// rate HotC must complete every request — faults are absorbed by
+// retries, fallbacks and quarantine, never surfaced to the client.
+func TestIntegrationChaosZeroClientErrors(t *testing.T) {
+	res := hotc.DefaultResilience()
+	sim, err := hotc.NewSimulation(hotc.Config{
+		Policy:      hotc.PolicyHotC,
+		Seed:        13,
+		LocalImages: true,
+		Faults: &hotc.FaultsConfig{
+			Seed: 13,
+			Rules: []hotc.FaultRule{{
+				CreateFailRate: 0.05,
+				ExecCrashRate:  0.01,
+			}},
+		},
+		Resilience: &res,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	app, err := hotc.AppQR("python")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Deploy(hotc.FunctionSpec{
+		Name:    "svc",
+		Runtime: hotc.Runtime{Image: "python:3.8"},
+		App:     app,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Bursty arrivals keep the create path hot, so the 5% rate actually
+	// bites; a serial trickle would hide behind one warm container.
+	results, err := sim.Replay(hotc.BurstWorkload(3, 6, []int{2, 5, 8}, 10, 20*time.Second), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	troubled := 0
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d surfaced an error to the client: %v", i, r.Err)
+		}
+		if r.Faults > 0 {
+			troubled++
+		}
+	}
+	st := sim.FaultStats()
+	if st.Total() == 0 {
+		t.Fatal("no faults injected; the test exercises nothing")
+	}
+	if st.CreateFails == 0 {
+		t.Fatal("no create faults at a 5% rate over a bursty workload")
+	}
+	if troubled == 0 {
+		t.Fatal("faults were injected but no request carries a fault annotation")
+	}
+	counters := sim.ResilienceCounters()
+	if counters["acquire.retries"] == 0 {
+		t.Fatalf("create faults were injected but the gateway never retried: %v", counters)
+	}
+	if counters["requests.failed"] != 0 {
+		t.Fatalf("gateway recorded failed requests: %v", counters)
+	}
+}

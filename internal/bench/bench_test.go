@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hotc/internal/faas"
+	"hotc/internal/faults"
 	"hotc/internal/metrics"
 	"hotc/internal/trace"
 )
@@ -305,4 +306,47 @@ func fmtSscanfPct(cell string, v *float64) (int, error) {
 // fig12PatternForTest mirrors Fig12's parallel pattern.
 func fig12PatternForTest() trace.Parallel {
 	return trace.Parallel{Threads: 10, Interval: 30 * time.Second, Rounds: 12}
+}
+
+func TestChaosResilience(t *testing.T) {
+	burst := trace.Burst{Base: 4, Factor: 8, BurstRounds: []int{3, 6, 9}, Rounds: 12, Interval: 30 * time.Second}.Generate()
+
+	// At 5% create-fail + 1% exec-crash + 1% corruption HotC completes
+	// every request: the acceptance bar of the resilience work.
+	out := chaosRun(PolicyHotC, chaosRates(0.05), burst)
+	if out.errors != 0 {
+		t.Fatalf("HotC surfaced %d errors at 5%% create-fail", out.errors)
+	}
+	if out.injected.Total() == 0 {
+		t.Fatal("no faults injected; sweep exercises nothing")
+	}
+	if out.retries == 0 {
+		t.Fatal("create faults injected but no retries recorded")
+	}
+
+	// Registry outage: reuse shields HotC while the cold baseline
+	// depends on the broken create path; the breaker trips during the
+	// window and closes after it.
+	outage := faults.Config{
+		Seed: 1717,
+		Rules: []faults.Rule{{
+			CreateFailRate: 0.05,
+			Bursts:         []faults.Burst{{StartSec: 120, DurationSec: 60, Multiplier: 20}},
+		}},
+	}
+	serial := trace.Serial{Interval: 2 * time.Second, Count: 150}.Generate()
+	hot := chaosRun(PolicyHotC, outage, serial)
+	cold := chaosRun(PolicyCold, outage, serial)
+	if hot.errors != 0 {
+		t.Fatalf("HotC surfaced %d errors during the outage", hot.errors)
+	}
+	if cold.errors <= hot.errors {
+		t.Fatalf("outage should hurt cold-start-always (cold=%d, hotc=%d errors)", cold.errors, hot.errors)
+	}
+	if cold.trips == 0 {
+		t.Fatal("a full outage must trip the cold baseline's breaker")
+	}
+	if cold.closes == 0 {
+		t.Fatal("the breaker never closed after the outage window")
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"hotc/internal/core"
 	"hotc/internal/costmodel"
 	"hotc/internal/faas"
+	"hotc/internal/faults"
 	"hotc/internal/host"
 	"hotc/internal/image"
 	"hotc/internal/policy"
@@ -39,7 +40,8 @@ type Env struct {
 	Registry *image.Registry
 	Gateway  *faas.Gateway
 	Host     *host.Host
-	HotC     *core.HotC // non-nil only for PolicyHotC
+	HotC     *core.HotC        // non-nil only for PolicyHotC
+	Faults   *faults.Injector  // non-nil only when EnvOptions.Faults is set
 	Provider faas.Provider
 }
 
@@ -63,6 +65,9 @@ type EnvOptions struct {
 	// Constants overrides the cost-model constants (nil = defaults);
 	// used by ablations such as the contention study.
 	Constants *costmodel.Constants
+	// Faults attaches a deterministic fault injector to the engine and
+	// a health check to the runtime pool (chaos experiments).
+	Faults *faults.Config
 }
 
 // NewEnv builds an environment running the given policy.
@@ -94,24 +99,36 @@ func NewEnv(kind PolicyKind, opts EnvOptions) *Env {
 
 	env := &Env{Sched: sched, Engine: eng, Registry: reg, Host: host.New(eng)}
 
+	var health func(*container.Container) error
+	if opts.Faults != nil {
+		inj, err := faults.New(*opts.Faults, sched.Now)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		inj.Attach(eng)
+		env.Faults = inj
+		health = inj.HealthCheck
+	}
+
 	switch kind {
 	case PolicyCold:
 		env.Provider = policy.NewNoReuse(eng)
 	case PolicyHotC:
 		coreOpts := opts.Core
 		coreOpts.Pool.MemUsedPct = env.Host.UsedMemPct
+		coreOpts.Pool.HealthCheck = health
 		h := core.New(eng, coreOpts)
 		h.Start()
 		env.HotC = h
 		env.Provider = h
 	case PolicyKeepAlive:
-		p := pool.New(eng, pool.Options{MemUsedPct: env.Host.UsedMemPct})
+		p := pool.New(eng, pool.Options{MemUsedPct: env.Host.UsedMemPct, HealthCheck: health})
 		env.Provider = policy.NewFixedKeepAlive(p, opts.KeepAliveWindow)
 	case PolicyWarmup:
-		p := pool.New(eng, pool.Options{MemUsedPct: env.Host.UsedMemPct})
+		p := pool.New(eng, pool.Options{MemUsedPct: env.Host.UsedMemPct, HealthCheck: health})
 		env.Provider = policy.NewPeriodicWarmup(p, opts.WarmupPeriod, opts.KeepAliveWindow)
 	case PolicyHistogram:
-		p := pool.New(eng, pool.Options{MemUsedPct: env.Host.UsedMemPct})
+		p := pool.New(eng, pool.Options{MemUsedPct: env.Host.UsedMemPct, HealthCheck: health})
 		env.Provider = policy.NewHistogram(p)
 	default:
 		panic(fmt.Sprintf("bench: unknown policy %q", kind))

@@ -215,6 +215,11 @@ type Engine struct {
 	CreateHook func(Spec) error
 	// ExecHook, if set, is consulted before each exec.
 	ExecHook func(*Container, workload.App) error
+	// StartDelayHook, if set, returns extra boot latency added to each
+	// create (modelling slow-start faults: registry throttling, disk
+	// pressure, noisy neighbours). A zero return leaves the boot cost
+	// unchanged.
+	StartDelayHook func(Spec) time.Duration
 
 	// Mechanism selects the cold-start mechanism for fresh containers
 	// (default Vanilla). It must be set before any containers are
@@ -350,6 +355,11 @@ func (e *Engine) Create(spec Spec, done func(*Container, error)) {
 		panic("container: Create requires a completion callback")
 	}
 	cost := e.jitter(e.StartCost(spec))
+	if e.StartDelayHook != nil {
+		if extra := e.StartDelayHook(spec); extra > 0 {
+			cost += extra
+		}
+	}
 	e.sched.After(cost, func() {
 		if e.CreateHook != nil {
 			if err := e.CreateHook(spec); err != nil {
@@ -448,7 +458,11 @@ func (e *Engine) Exec(c *Container, app workload.App, done func(time.Duration, e
 		if err := e.ExecHook(c, app); err != nil {
 			// Leave the container usable: a failed exec (e.g. an OOM
 			// kill of the function process) does not take the
-			// container down.
+			// container down. The caller (pool/gateway) decides whether
+			// to quarantine it. Invariant: the failure path runs before
+			// any active CPU/mem accounting, so a failed exec — even
+			// repeated on the same container — leaves activeCPUPct and
+			// activeMemMB untouched and the container Available.
 			c.state = Available
 			done(0, fmt.Errorf("container: exec failed: %w", err))
 			return

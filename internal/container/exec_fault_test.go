@@ -1,0 +1,108 @@
+package container
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hotc/internal/workload"
+)
+
+// Regression test for the Exec error path: a hook-injected exec
+// failure must leave no dangling accounting. Before the invariant was
+// pinned down, a crashing exec could in principle have charged
+// activeCPUPct/activeMemMB without the completion callback ever
+// crediting it back, inflating contention for every later request.
+func TestRepeatedFailedExecsLeaveNoDanglingAccounting(t *testing.T) {
+	f := newFixture(t)
+	c := f.mustCreate(t, pySpec(t, f))
+	app := workload.QRApp(workload.Python)
+
+	boom := errors.New("boom")
+	f.engine.ExecHook = func(*Container, workload.App) error { return boom }
+
+	statsBefore := f.engine.Stats()
+	for i := 0; i < 10; i++ {
+		var execErr error
+		f.engine.Exec(c, app, func(_ time.Duration, err error) { execErr = err })
+		if err := f.sched.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(execErr, boom) {
+			t.Fatalf("exec %d: err = %v, want the injected failure", i, execErr)
+		}
+		if got := f.engine.ActiveCPUPct(); got != 0 {
+			t.Fatalf("exec %d: ActiveCPUPct = %v after failed exec, want 0", i, got)
+		}
+		if got := f.engine.ActiveMemMB(); got != 0 {
+			t.Fatalf("exec %d: ActiveMemMB = %v after failed exec, want 0", i, got)
+		}
+		if c.State() != Available {
+			t.Fatalf("exec %d: state = %v, want Available", i, c.State())
+		}
+	}
+	if c.Execs != 0 {
+		t.Fatalf("Execs = %d after only failed execs, want 0", c.Execs)
+	}
+	if s := f.engine.Stats(); s != statsBefore {
+		t.Fatalf("engine stats moved on failed execs: %+v -> %+v", statsBefore, s)
+	}
+
+	// The container must still be fully usable once the fault clears.
+	f.engine.ExecHook = nil
+	var okErr error
+	ran := false
+	f.engine.Exec(c, app, func(_ time.Duration, err error) { okErr, ran = err, true })
+	if err := f.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || okErr != nil {
+		t.Fatalf("exec after fault cleared: ran=%v err=%v", ran, okErr)
+	}
+	if c.Execs != 1 {
+		t.Fatalf("Execs = %d, want 1", c.Execs)
+	}
+	if f.engine.ActiveCPUPct() != 0 || f.engine.ActiveMemMB() != 0 {
+		t.Fatal("active accounting non-zero after a completed exec")
+	}
+}
+
+// A failed exec consumes the caller's reservation (the holder made its
+// attempt); the container stays Available so anyone can retry.
+func TestFailedExecConsumesReservation(t *testing.T) {
+	f := newFixture(t)
+	c := f.mustCreate(t, pySpec(t, f))
+	app := workload.QRApp(workload.Python)
+
+	if err := f.engine.Reserve(c); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.ExecHook = func(*Container, workload.App) error { return errors.New("crash") }
+	var execErr error
+	f.engine.Exec(c, app, func(_ time.Duration, err error) { execErr = err })
+	if err := f.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if execErr == nil {
+		t.Fatal("exec should have failed")
+	}
+
+	// Reservation gone, container Available: a fresh Reserve works.
+	if err := f.engine.Reserve(c); err != nil {
+		t.Fatalf("re-reserve after failed exec: %v", err)
+	}
+	f.engine.ExecHook = nil
+	ran := false
+	f.engine.Exec(c, app, func(_ time.Duration, err error) {
+		if err != nil {
+			t.Errorf("exec: %v", err)
+		}
+		ran = true
+	})
+	if err := f.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("second exec never completed")
+	}
+}

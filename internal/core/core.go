@@ -177,6 +177,17 @@ func (h *HotC) Complete(c *container.Container, spec container.Spec) {
 	h.pool.Release(c, nil)
 }
 
+// Discard implements faas.Discarder: a container whose execution
+// failed is quarantined — stopped and never re-admitted to the pool —
+// instead of being cleaned and reused (Algorithm 2 assumes the runtime
+// is still trustworthy; a crashed one is not).
+func (h *HotC) Discard(c *container.Container, spec container.Spec) {
+	if st, ok := h.keys[spec.Key()]; ok && st.inUse > 0 {
+		st.inUse--
+	}
+	h.pool.Quarantine(c)
+}
+
 // Start launches the adaptive control loop (Algorithm 3). Stop halts
 // it.
 func (h *HotC) Start() {

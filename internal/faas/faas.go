@@ -27,6 +27,8 @@ import (
 
 	"hotc/internal/config"
 	"hotc/internal/container"
+	"hotc/internal/metrics"
+	"hotc/internal/rng"
 	"hotc/internal/simclock"
 	"hotc/internal/trace"
 	"hotc/internal/workload"
@@ -60,6 +62,15 @@ type Provider interface {
 	// Complete is invoked after the response is sent; the provider
 	// decides whether to clean and keep the container or stop it.
 	Complete(c *container.Container, spec container.Spec)
+}
+
+// Discarder is an optional Provider extension: taking back a suspect
+// container without re-pooling it (quarantine or stop instead of
+// clean-and-keep). The gateway uses it when an execution fails and the
+// runtime can no longer be trusted. Providers that do not implement it
+// get the container back through Complete.
+type Discarder interface {
+	Discard(c *container.Container, spec container.Spec)
 }
 
 // Timestamps are the six measured moments, as virtual times.
@@ -100,6 +111,10 @@ type Result struct {
 	Reused bool
 	// Err is non-nil if the request failed.
 	Err error
+	// Faults annotates resilience events the request went through:
+	// acquire retries, exec fallbacks, quarantines, breaker transitions
+	// and degraded cold starts. Empty for an untroubled request.
+	Faults []trace.FaultEvent
 }
 
 // Gateway is the entry point: it resolves functions, obtains runtimes
@@ -122,14 +137,62 @@ type Gateway struct {
 	// momentary resource exhaustion, registry hiccups — usually clear
 	// within a backoff). Default 1.
 	MaxAcquireRetries int
-	// RetryBackoff is the delay before each retry. Default 100ms.
+	// RetryBackoff is the delay before the first retry and the base of
+	// the exponential schedule. Default 100ms.
 	RetryBackoff time.Duration
+	// BackoffFactor grows the delay per attempt (default 2).
+	BackoffFactor float64
+	// BackoffMax caps the retry delay (default 5s).
+	BackoffMax time.Duration
+	// BackoffJitter spreads each delay by the given fraction to avoid
+	// retry lockstep; requires BackoffRng. Default 0 (deterministic
+	// schedule).
+	BackoffJitter float64
+	// BackoffRng supplies jitter draws.
+	BackoffRng *rng.Source
 
-	retries int
+	// ExecRetries is how many times a failed execution falls back to a
+	// fresh acquisition: the suspect container is discarded (see
+	// Discarder) and the acquire loop restarts. Default 0 — an exec
+	// failure is returned to the client, the pre-resilience behaviour.
+	ExecRetries int
+
+	// BreakerThreshold arms a per-runtime-key circuit breaker: after
+	// this many consecutive acquire failures on a key the breaker opens
+	// and requests degrade to dedicated cold starts that bypass the
+	// provider (they complete at cold-start latency instead of
+	// erroring). 0 disables breaking.
+	BreakerThreshold int
+	// BreakerOpenFor is the open window before a half-open probe is
+	// allowed through to the provider again. Default 30s.
+	BreakerOpenFor time.Duration
+
+	breakers map[string]*Breaker
+	counters metrics.Counters
+	retries  int
 }
 
 // Retries reports how many acquire retries the gateway has performed.
 func (g *Gateway) Retries() int { return g.retries }
+
+// Counter names recorded by the gateway's resilience machinery.
+const (
+	CounterAcquireRetries   = "acquire.retries"
+	CounterRequestsFailed   = "requests.failed"
+	CounterExecFallbacks    = "exec.fallbacks"
+	CounterQuarantines      = "quarantines"
+	CounterBreakerTrips     = "breaker.trips"
+	CounterBreakerCloses    = "breaker.closes"
+	CounterDegradedRequests = "degraded.requests"
+)
+
+// ResilienceCounters exposes the gateway's fault/retry/breaker/
+// degradation counters.
+func (g *Gateway) ResilienceCounters() *metrics.Counters { return &g.counters }
+
+// BreakerFor returns the circuit breaker guarding the runtime key, or
+// nil when breaking is disabled or the key has seen no traffic yet.
+func (g *Gateway) BreakerFor(key string) *Breaker { return g.breakers[key] }
 
 // NewGateway builds a gateway over the engine with the given runtime
 // provider.
@@ -146,9 +209,52 @@ func NewGateway(eng *container.Engine, provider Provider) *Gateway {
 		inFlight:          make(map[string]int),
 		waiting:           make(map[string][]func()),
 		queuedPeak:        make(map[string]int),
+		breakers:          make(map[string]*Breaker),
 		MaxAcquireRetries: 1,
 		RetryBackoff:      100 * time.Millisecond,
 	}
+}
+
+// backoff assembles the retry schedule from the gateway knobs.
+func (g *Gateway) backoff() Backoff {
+	b := Backoff{
+		Base:       g.RetryBackoff,
+		Factor:     g.BackoffFactor,
+		Max:        g.BackoffMax,
+		JitterFrac: g.BackoffJitter,
+		Rng:        g.BackoffRng,
+	}
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	return b
+}
+
+// breakerFor lazily builds the breaker guarding a runtime key; nil when
+// breaking is disabled.
+func (g *Gateway) breakerFor(key string) *Breaker {
+	if g.BreakerThreshold <= 0 {
+		return nil
+	}
+	b := g.breakers[key]
+	if b == nil {
+		b = NewBreaker(g.BreakerThreshold, g.BreakerOpenFor)
+		g.breakers[key] = b
+	}
+	return b
+}
+
+// discard hands a suspect container back to the provider via Discard
+// when supported, falling back to Complete.
+func (g *Gateway) discard(c *container.Container, spec container.Spec) {
+	if d, ok := g.provider.(Discarder); ok {
+		d.Discard(c, spec)
+		return
+	}
+	g.provider.Complete(c, spec)
 }
 
 // QueuedPeak reports the maximum gateway queue depth observed for a
@@ -250,80 +356,173 @@ func (g *Gateway) Handle(name string, req trace.Request, done func(Result)) {
 		g.releaseSlot(name)
 		done(r)
 	}
-	fail := func(err error) {
-		finish(Result{Request: req, Function: name, Timestamps: ts, Err: err})
-	}
 
 	g.admit(fn, func() {
-		g.handleAdmitted(fn, req, ts, finish, fail)
+		g.handleAdmitted(fn, req, ts, finish)
 	})
 }
 
 // handleAdmitted drives an admitted request through the pipeline.
-func (g *Gateway) handleAdmitted(fn Function, req trace.Request, ts Timestamps, finish func(Result), fail func(error)) {
+//
+// The happy path is unchanged from the seed: acquire a runtime from
+// the provider, exec, forward the response. Around it sits the
+// resilience machinery: acquire failures retry on an exponential
+// backoff and feed the per-key circuit breaker; while the breaker is
+// open, requests degrade to dedicated cold starts that bypass the
+// provider; exec failures discard the suspect container and fall back
+// to a fresh acquisition up to ExecRetries times.
+func (g *Gateway) handleAdmitted(fn Function, req trace.Request, ts Timestamps, finish func(Result)) {
 	name := fn.Name
 	spec := g.specs[name]
+	key := string(spec.Key())
+	brk := g.breakerFor(key)
+	backoff := g.backoff()
 
-	// (1) -> gateway proxies the request towards the backend. The
-	// provider hands over a runtime; for a cold start the boot happens
-	// inside Acquire, i.e. between (1) and (2) the request is waiting
-	// for the backend to scale from zero. Transient acquisition
-	// failures are retried with a backoff.
-	var acquire func(attempt int)
-	acquire = func(attempt int) {
-		g.provider.Acquire(spec, func(c *container.Container, reused bool, delta config.Delta, err error) {
-			if err != nil {
-				if attempt < g.MaxAcquireRetries {
-					g.retries++
-					g.sched.After(g.RetryBackoff, func() { acquire(attempt + 1) })
-					return
-				}
-				fail(err)
-				return
-			}
-			// Relaxed matches apply their exec-time delta first.
-			adjust := time.Duration(0)
-			if !delta.Empty() {
-				adjust = g.eng.Model().DeltaApplyCost()
-			}
-			g.sched.After(adjust, func() {
+	var faults []trace.FaultEvent
+	annotate := func(kind, detail string) {
+		faults = append(faults, trace.FaultEvent{At: g.sched.Now(), Kind: kind, Detail: detail})
+	}
+
+	// Error contract: a failed request still completes — done fires
+	// exactly once with Err set and the error timestamp (ClientOut)
+	// stamped, and finish releases the concurrency slot. Acquire or
+	// exec failures must never strand the gateway queue.
+	fail := func(err error) {
+		ts.ClientOut = g.sched.Now()
+		g.counters.Inc(CounterRequestsFailed)
+		finish(Result{Request: req, Function: name, Timestamps: ts, Err: err, Faults: faults})
+	}
+
+	var acquire func(attempt, execAttempt int)
+
+	// runExec drives (2)->(6) on an acquired runtime. owned marks a
+	// degraded-path container the gateway created itself: it never
+	// touches the provider and is stopped after the response.
+	runExec := func(c *container.Container, reused bool, delta config.Delta, owned bool, execAttempt int) {
+		// Relaxed matches apply their exec-time delta first.
+		adjust := time.Duration(0)
+		if !delta.Empty() {
+			adjust = g.eng.Model().DeltaApplyCost()
+		}
+		g.sched.After(adjust, func() {
+			if ts.WatchdogIn == 0 {
+				// Stamped once: an exec fallback re-enters here, and the
+				// recovery time belongs to this request's initiation.
 				ts.WatchdogIn = g.sched.Now()
-				initPhase, execPhase := g.eng.ExecPhases(c, fn.App)
-				g.eng.Exec(c, fn.App, func(actual time.Duration, err error) {
-					if err != nil {
-						g.provider.Complete(c, spec)
-						fail(err)
+			}
+			initPhase, execPhase := g.eng.ExecPhases(c, fn.App)
+			g.eng.Exec(c, fn.App, func(actual time.Duration, err error) {
+				if err != nil {
+					if execAttempt < g.ExecRetries {
+						// Graceful degradation: the runtime is suspect, so
+						// quarantine it and transparently fall back to a
+						// fresh acquisition (typically a cold start).
+						g.counters.Inc(CounterExecFallbacks)
+						annotate("exec-fallback", err.Error())
+						if owned {
+							g.eng.Stop(c, nil)
+						} else {
+							g.counters.Inc(CounterQuarantines)
+							annotate("quarantine", c.ID)
+							g.discard(c, spec)
+						}
+						g.sched.After(backoff.Delay(execAttempt), func() { acquire(0, execAttempt+1) })
 						return
 					}
-					// Apportion the (possibly jittered) actual duration
-					// over the nominal phases to place (3) and (4).
-					ts.FuncStop = g.sched.Now()
-					nominal := initPhase + execPhase
-					execShare := execPhase
-					if nominal > 0 {
-						execShare = time.Duration(float64(actual) * float64(execPhase) / float64(nominal))
+					if owned {
+						g.eng.Stop(c, nil)
+					} else {
+						g.provider.Complete(c, spec)
 					}
-					ts.FuncStart = ts.FuncStop - execShare
-					// (4) -> (5): watchdog copies the response out.
-					g.sched.After(g.eng.Model().WatchdogShimCost(), func() {
-						ts.WatchdogOut = g.sched.Now()
-						// (5) -> (6): gateway returns to the client.
-						g.sched.After(g.eng.Model().GatewayForwardCost(), func() {
-							ts.ClientOut = g.sched.Now()
+					fail(err)
+					return
+				}
+				// Apportion the (possibly jittered) actual duration
+				// over the nominal phases to place (3) and (4).
+				ts.FuncStop = g.sched.Now()
+				nominal := initPhase + execPhase
+				execShare := execPhase
+				if nominal > 0 {
+					execShare = time.Duration(float64(actual) * float64(execPhase) / float64(nominal))
+				}
+				ts.FuncStart = ts.FuncStop - execShare
+				// (4) -> (5): watchdog copies the response out.
+				g.sched.After(g.eng.Model().WatchdogShimCost(), func() {
+					ts.WatchdogOut = g.sched.Now()
+					// (5) -> (6): gateway returns to the client.
+					g.sched.After(g.eng.Model().GatewayForwardCost(), func() {
+						ts.ClientOut = g.sched.Now()
+						if owned {
+							g.eng.Stop(c, nil)
+						} else {
 							g.provider.Complete(c, spec)
-							finish(Result{
-								Request:    req,
-								Function:   name,
-								Timestamps: ts,
-								Reused:     reused,
-							})
+						}
+						finish(Result{
+							Request:    req,
+							Function:   name,
+							Timestamps: ts,
+							Reused:     reused,
+							Faults:     faults,
 						})
 					})
 				})
 			})
 		})
 	}
-	g.sched.After(g.eng.Model().GatewayForwardCost(), func() { acquire(0) })
+
+	// retryOrFail reschedules the acquire loop after a failure, or
+	// surfaces the error once the retry budget is spent.
+	retryOrFail := func(attempt, execAttempt int, err error) {
+		if attempt < g.MaxAcquireRetries {
+			g.retries++
+			g.counters.Inc(CounterAcquireRetries)
+			annotate("acquire-retry", err.Error())
+			g.sched.After(backoff.Delay(attempt), func() { acquire(attempt+1, execAttempt) })
+			return
+		}
+		fail(err)
+	}
+
+	// (1) -> gateway proxies the request towards the backend. The
+	// provider hands over a runtime; for a cold start the boot happens
+	// inside Acquire, i.e. between (1) and (2) the request is waiting
+	// for the backend to scale from zero.
+	acquire = func(attempt, execAttempt int) {
+		if brk != nil && !brk.Allow(g.sched.Now()) {
+			// Breaker open: degrade to a dedicated cold start that
+			// bypasses the provider entirely. The request completes at
+			// cold-start-always latency instead of erroring.
+			g.counters.Inc(CounterDegradedRequests)
+			annotate("degraded-cold", key)
+			g.eng.Create(spec, func(c *container.Container, err error) {
+				if err != nil {
+					retryOrFail(attempt, execAttempt, err)
+					return
+				}
+				runExec(c, false, config.Delta{}, true, execAttempt)
+			})
+			return
+		}
+		g.provider.Acquire(spec, func(c *container.Container, reused bool, delta config.Delta, err error) {
+			if err != nil {
+				if brk != nil && brk.OnFailure(g.sched.Now()) {
+					g.counters.Inc(CounterBreakerTrips)
+					annotate("breaker-open", key)
+				}
+				retryOrFail(attempt, execAttempt, err)
+				return
+			}
+			if brk != nil {
+				if was := brk.State(g.sched.Now()); was != BreakerClosed {
+					g.counters.Inc(CounterBreakerCloses)
+					annotate("breaker-close", key)
+				}
+				brk.OnSuccess()
+			}
+			runExec(c, reused, delta, false, execAttempt)
+		})
+	}
+	g.sched.After(g.eng.Model().GatewayForwardCost(), func() { acquire(0, 0) })
 }
 
 // Run replays a request schedule against the gateway: request classes

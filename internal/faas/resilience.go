@@ -1,0 +1,199 @@
+package faas
+
+import (
+	"fmt"
+	"time"
+
+	"hotc/internal/rng"
+	"hotc/internal/simclock"
+)
+
+// Backoff computes retry delays: exponential growth from Base by
+// Factor, capped at Max, with optional seeded jitter so synchronized
+// failures do not retry in lockstep. The zero value is unusable; fill
+// in Base or use DefaultBackoff.
+type Backoff struct {
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Factor multiplies the delay per attempt (default 2 when <= 1).
+	Factor float64
+	// Max caps the delay (0 = uncapped).
+	Max time.Duration
+	// JitterFrac spreads each delay uniformly over
+	// [d*(1-JitterFrac), d*(1+JitterFrac)]. Requires Rng.
+	JitterFrac float64
+	// Rng supplies jitter draws; nil disables jitter.
+	Rng *rng.Source
+}
+
+// DefaultBackoff is the schedule the gateway uses when none is
+// configured: 100ms doubling to a 5s cap, no jitter.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 100 * time.Millisecond, Factor: 2, Max: 5 * time.Second}
+}
+
+// Delay returns the delay before retry number attempt (0-based: the
+// first retry waits Base).
+func (b Backoff) Delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	factor := b.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if b.Max > 0 && d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.JitterFrac > 0 && b.Rng != nil {
+		frac := b.JitterFrac
+		if frac > 1 {
+			frac = 1
+		}
+		// Uniform in [1-frac, 1+frac).
+		d *= 1 - frac + 2*frac*b.Rng.Float64()
+	}
+	if d < 0 {
+		return 0
+	}
+	return time.Duration(d)
+}
+
+// BreakerState is the circuit-breaker state.
+type BreakerState int
+
+const (
+	// BreakerClosed passes requests through, counting consecutive
+	// failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects the guarded operation until the open window
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets a single probe through; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String returns the state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("faas.BreakerState(%d)", int(s))
+	}
+}
+
+// Breaker is a per-runtime-key circuit breaker over container
+// acquisition. It trips open after Threshold consecutive failures,
+// rejects while open, half-opens after OpenFor of virtual time, and
+// closes again on a successful probe. Like everything on the
+// simulation goroutine it needs no locking.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that trips the breaker.
+	Threshold int
+	// OpenFor is the open window before a probe is allowed.
+	OpenFor time.Duration
+
+	state    BreakerState
+	fails    int
+	openedAt simclock.Time
+	probing  bool
+	trips    int
+}
+
+// NewBreaker returns a closed breaker. threshold <= 0 defaults to 5;
+// openFor <= 0 defaults to 30s.
+func NewBreaker(threshold int, openFor time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if openFor <= 0 {
+		openFor = 30 * time.Second
+	}
+	return &Breaker{Threshold: threshold, OpenFor: openFor}
+}
+
+// State reports the breaker state at the given virtual time (an open
+// breaker whose window has elapsed reads as half-open).
+func (b *Breaker) State(now simclock.Time) BreakerState {
+	if b.state == BreakerOpen && now >= b.openedAt+b.OpenFor {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Trips reports how many times the breaker has tripped open.
+func (b *Breaker) Trips() int { return b.trips }
+
+// Allow reports whether the guarded operation may proceed at now.
+// While open it returns false; once the open window elapses it admits
+// exactly one probe (half-open) and rejects the rest until the probe
+// resolves via OnSuccess or OnFailure.
+func (b *Breaker) Allow(now simclock.Time) bool {
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now >= b.openedAt+b.OpenFor {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		if b.probing {
+			return false // a probe is already in flight
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// OnSuccess records a successful operation: it resets the failure
+// count and closes a half-open breaker.
+func (b *Breaker) OnSuccess() {
+	b.fails = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// OnFailure records a failed operation at now. In the closed state it
+// trips the breaker once Threshold consecutive failures accumulate; in
+// the half-open state the failed probe re-opens immediately. It
+// reports whether this failure tripped the breaker open.
+func (b *Breaker) OnFailure(now simclock.Time) bool {
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.trips++
+		return true
+	case BreakerOpen:
+		return false
+	default:
+		b.fails++
+		if b.fails >= b.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.fails = 0
+			b.trips++
+			return true
+		}
+		return false
+	}
+}

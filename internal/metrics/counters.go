@@ -1,0 +1,45 @@
+package metrics
+
+import "sort"
+
+// Counters is an ordered set of named monotonic counters, used for
+// fault-injection and resilience accounting (retries, breaker trips,
+// quarantines, fallbacks). The zero value is ready to use. Counters is
+// not safe for concurrent use; like the rest of the simulator it lives
+// on the scheduler goroutine.
+type Counters struct {
+	vals map[string]int
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Add increments the named counter by n.
+func (c *Counters) Add(name string, n int) {
+	if c.vals == nil {
+		c.vals = make(map[string]int)
+	}
+	c.vals[name] += n
+}
+
+// Get returns the named counter's value (0 when never incremented).
+func (c *Counters) Get(name string) int { return c.vals[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.vals))
+	for n := range c.vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int {
+	out := make(map[string]int, len(c.vals))
+	for n, v := range c.vals {
+		out[n] = v
+	}
+	return out
+}

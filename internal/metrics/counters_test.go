@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCountersZeroValueUsable(t *testing.T) {
+	var c Counters
+	if c.Get("anything") != 0 {
+		t.Fatal("unknown counter should read 0")
+	}
+	if names := c.Names(); len(names) != 0 {
+		t.Fatalf("fresh counters have names: %v", names)
+	}
+	c.Inc("a")
+	if c.Get("a") != 1 {
+		t.Fatalf("a = %d, want 1", c.Get("a"))
+	}
+}
+
+func TestCountersAddAndNames(t *testing.T) {
+	var c Counters
+	c.Inc("b")
+	c.Add("a", 3)
+	c.Inc("b")
+	c.Add("c", 0) // registering with 0 still creates the name
+	if c.Get("a") != 3 || c.Get("b") != 2 || c.Get("c") != 0 {
+		t.Fatalf("counters = %v", c.Snapshot())
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Names = %v, want sorted [a b c]", got)
+	}
+}
+
+func TestCountersSnapshotIsCopy(t *testing.T) {
+	var c Counters
+	c.Add("x", 7)
+	snap := c.Snapshot()
+	snap["x"] = 99
+	snap["y"] = 1
+	if c.Get("x") != 7 || c.Get("y") != 0 {
+		t.Fatal("mutating a snapshot leaked into the counters")
+	}
+}
+
+func TestP99MatchesPercentile(t *testing.T) {
+	var s Series
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	if s.P99() != s.Percentile(99) {
+		t.Fatalf("P99 = %v, Percentile(99) = %v", s.P99(), s.Percentile(99))
+	}
+	// With 1..1000 the 99th percentile interpolates near 990.
+	if s.P99() < 989 || s.P99() > 991 {
+		t.Fatalf("P99 = %v, want ~990", s.P99())
+	}
+}
+
+func TestQuantilesMatchPercentiles(t *testing.T) {
+	var s Series
+	for _, v := range []float64{5, 1, 4, 2, 3} {
+		s.Add(v)
+	}
+	got := s.Quantiles(0, 50, 99, 100)
+	want := []float64{s.Percentile(0), s.Percentile(50), s.Percentile(99), s.Percentile(100)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Quantiles = %v, want %v", got, want)
+	}
+	if len(s.Quantiles()) != 0 {
+		t.Fatal("Quantiles() with no args should be empty")
+	}
+}

@@ -128,6 +128,20 @@ func (s *Series) Percentile(p float64) float64 {
 // Median is Percentile(50).
 func (s *Series) Median() float64 { return s.Percentile(50) }
 
+// P99 is Percentile(99) — the tail quantile every resilience and
+// latency table reports.
+func (s *Series) P99() float64 { return s.Percentile(99) }
+
+// Quantiles returns the given percentiles (each in [0, 100]) in one
+// call, so report code does not reimplement percentile extraction.
+func (s *Series) Quantiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = s.Percentile(p)
+	}
+	return out
+}
+
 // Sum returns the total of all samples.
 func (s *Series) Sum() float64 {
 	sum := 0.0

@@ -64,6 +64,12 @@ func (n *NoReuse) Complete(c *container.Container, _ container.Spec) {
 	n.eng.Stop(c, nil)
 }
 
+// Discard implements faas.Discarder. A cold-start policy tears every
+// container down anyway, suspect or not.
+func (n *NoReuse) Discard(c *container.Container, spec container.Spec) {
+	n.Complete(c, spec)
+}
+
 // expiring is the shared keep-alive machinery: release containers back
 // to a pool and stop them once they have sat idle for the policy's
 // time-to-live.
@@ -82,6 +88,11 @@ func (e *expiring) complete(c *container.Container, spec container.Spec) {
 	e.pool.Release(c, func(error) {
 		e.armExpiry(c, spec.Key())
 	})
+}
+
+// discard quarantines a suspect container instead of re-pooling it.
+func (e *expiring) discard(c *container.Container) {
+	e.pool.Quarantine(c)
 }
 
 // armExpiry schedules an idle check at LastUsedAt + ttl. If the
@@ -149,6 +160,12 @@ func (f *FixedKeepAlive) Acquire(spec container.Spec, done func(*container.Conta
 // Complete implements faas.Provider.
 func (f *FixedKeepAlive) Complete(c *container.Container, spec container.Spec) {
 	f.complete(c, spec)
+}
+
+// Discard implements faas.Discarder: the suspect container is
+// quarantined, never re-entering the pool.
+func (f *FixedKeepAlive) Discard(c *container.Container, _ container.Spec) {
+	f.discard(c)
 }
 
 // PeriodicWarmup layers scheduled warm-up pings on a fixed keep-alive:
@@ -287,4 +304,10 @@ func (h *Histogram) Acquire(spec container.Spec, done func(*container.Container,
 // Complete implements faas.Provider.
 func (h *Histogram) Complete(c *container.Container, spec container.Spec) {
 	h.complete(c, spec)
+}
+
+// Discard implements faas.Discarder: the suspect container is
+// quarantined, never re-entering the pool.
+func (h *Histogram) Discard(c *container.Container, _ container.Spec) {
+	h.discard(c)
 }

@@ -40,6 +40,11 @@ type Options struct {
 	// Eviction selects the forced-eviction victim order (default
 	// EvictOldest, the paper's choice).
 	Eviction EvictionPolicy
+	// HealthCheck, when non-nil, vets every pooled container before it
+	// is handed out. A container that fails the check is quarantined —
+	// stopped and removed from the indexes, never to re-enter the pool —
+	// and Acquire moves on to the next candidate (or a cold start).
+	HealthCheck func(*container.Container) error
 }
 
 // EvictionPolicy orders forced-eviction victims.
@@ -90,6 +95,9 @@ type Stats struct {
 	Prewarmed int
 	// Retired counts containers stopped by the controller scale-down.
 	Retired int
+	// Quarantined counts containers removed because they failed a
+	// health check or were reported corrupted after an execution.
+	Quarantined int
 }
 
 // Pool is the live container runtime pool. Like the engine it is
@@ -106,6 +114,10 @@ type Pool struct {
 	// specs remembers the spec each key was created from, for
 	// delta computation on relaxed hits.
 	specs map[config.Key]container.Spec
+	// quarantining marks containers whose quarantine teardown is still
+	// in flight (Engine.Stop takes simulated time), so a repeated
+	// Quarantine call cannot double-count or double-stop them.
+	quarantining map[*container.Container]bool
 
 	stats Stats
 }
@@ -116,11 +128,12 @@ func New(eng *container.Engine, opts Options) *Pool {
 		panic("pool: nil engine")
 	}
 	return &Pool{
-		eng:       eng,
-		opts:      opts.withDefaults(),
-		byKey:     make(map[config.Key][]*container.Container),
-		byRelaxed: make(map[config.RelaxedKey][]*container.Container),
-		specs:     make(map[config.Key]container.Spec),
+		eng:          eng,
+		opts:         opts.withDefaults(),
+		byKey:        make(map[config.Key][]*container.Container),
+		byRelaxed:    make(map[config.RelaxedKey][]*container.Container),
+		specs:        make(map[config.Key]container.Spec),
+		quarantining: make(map[*container.Container]bool),
 	}
 }
 
@@ -178,8 +191,9 @@ func (p *Pool) Acquire(spec container.Spec, done func(c *container.Container, re
 	}
 	key := spec.Key()
 
-	// Exact-key reuse: the first available candidate.
-	if c := p.firstAvailable(p.byKey[key]); c != nil {
+	// Exact-key reuse: the first available candidate that passes the
+	// health check (unhealthy ones are quarantined as they are found).
+	if c := p.firstHealthy(p.byKey[key]); c != nil {
 		if err := p.eng.Reserve(c); err != nil {
 			done(nil, false, config.Delta{}, fmt.Errorf("pool: reserving hit: %w", err))
 			return
@@ -192,7 +206,7 @@ func (p *Pool) Acquire(spec container.Spec, done func(c *container.Container, re
 	// Relaxed-key reuse (§VII): a container whose namespace-level
 	// configuration matches can be adjusted at exec time.
 	if p.opts.EnableRelaxed {
-		if c := p.firstAvailable(p.byRelaxed[spec.Runtime.Relaxed()]); c != nil {
+		if c := p.firstHealthy(p.byRelaxed[spec.Runtime.Relaxed()]); c != nil {
 			if err := p.eng.Reserve(c); err == nil {
 				p.stats.Hits++
 				p.stats.RelaxedHits++
@@ -413,6 +427,44 @@ func (p *Pool) firstAvailable(list []*container.Container) *container.Container 
 		}
 	}
 	return nil
+}
+
+// firstHealthy returns the first available container that passes the
+// configured health check. Candidates that fail are quarantined on the
+// spot, so a corrupted runtime is examined at most once. Note the loop
+// re-reads the (mutated) list: Quarantine removes the candidate from
+// the pool indexes.
+func (p *Pool) firstHealthy(list []*container.Container) *container.Container {
+	if p.opts.HealthCheck == nil {
+		return p.firstAvailable(list)
+	}
+	for {
+		c := p.firstAvailable(list)
+		if c == nil {
+			return nil
+		}
+		if err := p.opts.HealthCheck(c); err == nil {
+			return c
+		}
+		p.Quarantine(c)
+		list = removeFrom(list, c)
+	}
+}
+
+// Quarantine removes a container from the pool and stops it without
+// counting it as a normal retirement: the container is suspected of
+// corruption and must never re-enter the keyed store. It is safe to
+// call for containers the pool no longer tracks (the stop still
+// happens) and is a no-op for already-stopped containers.
+func (p *Pool) Quarantine(c *container.Container) {
+	if c.State() == container.Stopped || p.quarantining[c] {
+		return
+	}
+	p.quarantining[c] = true
+	p.remove(c)
+	p.stats.Quarantined++
+	p.eng.Unreserve(c) // a reserved holder abandoning a bad container
+	p.eng.Stop(c, func() { delete(p.quarantining, c) })
 }
 
 // admit registers a container in the pool indexes.

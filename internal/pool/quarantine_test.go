@@ -1,0 +1,145 @@
+package pool
+
+import (
+	"errors"
+	"testing"
+
+	"hotc/internal/config"
+	"hotc/internal/container"
+	"hotc/internal/workload"
+)
+
+// markingCheck is a health check that fails containers present in bad
+// and forgets them afterwards, mirroring how the fault injector's
+// consumable poison mark behaves.
+type markingCheck struct {
+	bad map[*container.Container]bool
+}
+
+func (m *markingCheck) check(c *container.Container) error {
+	if m.bad[c] {
+		delete(m.bad, c)
+		return errors.New("unhealthy")
+	}
+	return nil
+}
+
+func TestAcquireQuarantinesUnhealthy(t *testing.T) {
+	mc := &markingCheck{bad: map[*container.Container]bool{}}
+	f := newFixture(t, Options{HealthCheck: mc.check})
+	spec := pySpec(t, f)
+	app := workload.QRApp(workload.Python)
+
+	c1, _ := f.acquire(t, spec)
+	f.execAndRelease(t, c1, app)
+	mc.bad[c1] = true
+
+	c2, reused := f.acquire(t, spec)
+	if reused {
+		t.Fatal("acquire of an unhealthy pool should be a cold start")
+	}
+	if c2 == c1 {
+		t.Fatal("acquire handed back the unhealthy container")
+	}
+	if c1.State() != container.Stopped {
+		t.Fatalf("quarantined container state = %v, want Stopped", c1.State())
+	}
+	st := f.pool.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 0 hits / 2 misses", st)
+	}
+}
+
+func TestQuarantinedNeverReappears(t *testing.T) {
+	mc := &markingCheck{bad: map[*container.Container]bool{}}
+	f := newFixture(t, Options{HealthCheck: mc.check})
+	spec := pySpec(t, f)
+	app := workload.QRApp(workload.Python)
+
+	c1, _ := f.acquire(t, spec)
+	f.execAndRelease(t, c1, app)
+	mc.bad[c1] = true
+
+	// The replacement is healthy; every subsequent acquire must reuse
+	// it, never the quarantined original.
+	c2, _ := f.acquire(t, spec)
+	f.execAndRelease(t, c2, app)
+	for i := 0; i < 5; i++ {
+		c, reused := f.acquire(t, spec)
+		if !reused || c != c2 {
+			t.Fatalf("acquire %d: got %v (reused=%v), want the healthy replacement", i, c, reused)
+		}
+		f.execAndRelease(t, c, app)
+	}
+	if got := f.pool.Stats().Quarantined; got != 1 {
+		t.Fatalf("Quarantined = %d, want 1", got)
+	}
+}
+
+func TestQuarantineSkipsToNextHealthy(t *testing.T) {
+	mc := &markingCheck{bad: map[*container.Container]bool{}}
+	f := newFixture(t, Options{HealthCheck: mc.check})
+	spec := pySpec(t, f)
+	app := workload.QRApp(workload.Python)
+
+	// Two warm containers: hold the first while acquiring the second.
+	c1, _ := f.acquire(t, spec)
+	c2, _ := f.acquire(t, spec)
+	f.execAndRelease(t, c1, app)
+	f.execAndRelease(t, c2, app)
+
+	mc.bad[c1] = true
+	got, reused := f.acquire(t, spec)
+	if !reused {
+		t.Fatal("a healthy candidate remained; acquire should still reuse")
+	}
+	if got != c2 {
+		t.Fatal("acquire should skip the unhealthy head and take the next candidate")
+	}
+	if f.pool.Stats().Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", f.pool.Stats().Quarantined)
+	}
+}
+
+func TestQuarantineRelaxedPath(t *testing.T) {
+	mc := &markingCheck{bad: map[*container.Container]bool{}}
+	f := newFixture(t, Options{EnableRelaxed: true, HealthCheck: mc.check})
+	app := workload.QRApp(workload.Python)
+
+	base := f.spec(t, config.Runtime{Image: "python:3.8", Env: []string{"MODE=a"}})
+	c1, _ := f.acquire(t, base)
+	f.execAndRelease(t, c1, app)
+	mc.bad[c1] = true
+
+	// Different exec-time config, same relaxed key: without the
+	// quarantine this would be a relaxed hit on the corrupted runtime.
+	other := f.spec(t, config.Runtime{Image: "python:3.8", Env: []string{"MODE=b"}})
+	c2, reused := f.acquire(t, other)
+	if reused || c2 == c1 {
+		t.Fatal("relaxed acquire reused a container that failed its health check")
+	}
+	st := f.pool.Stats()
+	if st.Quarantined != 1 || st.RelaxedHits != 0 {
+		t.Fatalf("stats = %+v, want 1 quarantined and no relaxed hits", st)
+	}
+}
+
+func TestQuarantineStoppedIsNoOp(t *testing.T) {
+	f := newFixture(t, Options{})
+	spec := pySpec(t, f)
+	c, _ := f.acquire(t, spec)
+	f.execAndRelease(t, c, workload.QRApp(workload.Python))
+
+	f.pool.Quarantine(c)
+	if got := f.pool.Stats().Quarantined; got != 1 {
+		t.Fatalf("Quarantined = %d, want 1", got)
+	}
+	// Already stopped: a second call must not double count.
+	f.pool.Quarantine(c)
+	if got := f.pool.Stats().Quarantined; got != 1 {
+		t.Fatalf("Quarantined after no-op = %d, want 1", got)
+	}
+}

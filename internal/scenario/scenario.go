@@ -49,6 +49,69 @@ type Spec struct {
 	// cluster instead of a single host (Policy is then ignored: every
 	// node runs HotC).
 	Cluster *ClusterSpec `json:"cluster,omitempty"`
+	// Faults, when present, injects deterministic failures (failed
+	// creates, exec crashes, corruption, slow starts) into the engine.
+	// Single-host runs only.
+	Faults *hotc.FaultsConfig `json:"faults,omitempty"`
+	// Resilience, when present, arms the gateway's retry / circuit
+	// breaker / fallback machinery. Single-host runs only.
+	Resilience *ResilienceSpec `json:"resilience,omitempty"`
+}
+
+// ResilienceSpec is the JSON shape of hotc.ResilienceConfig.
+type ResilienceSpec struct {
+	// MaxAcquireRetries bounds acquire retries per request.
+	MaxAcquireRetries int `json:"maxAcquireRetries,omitempty"`
+	// RetryBackoffMs is the base retry delay in milliseconds.
+	RetryBackoffMs float64 `json:"retryBackoffMs,omitempty"`
+	// BackoffFactor grows the delay per attempt.
+	BackoffFactor float64 `json:"backoffFactor,omitempty"`
+	// BackoffMaxMs caps the delay.
+	BackoffMaxMs float64 `json:"backoffMaxMs,omitempty"`
+	// BackoffJitter spreads delays by the given fraction.
+	BackoffJitter float64 `json:"backoffJitter,omitempty"`
+	// ExecRetries bounds exec-failure fallbacks per request.
+	ExecRetries int `json:"execRetries,omitempty"`
+	// BreakerThreshold arms the per-key circuit breaker (0 = off).
+	BreakerThreshold int `json:"breakerThreshold,omitempty"`
+	// BreakerOpenSec is the breaker's open window in seconds.
+	BreakerOpenSec float64 `json:"breakerOpenSec,omitempty"`
+	// Defaults, when true, starts from hotc.DefaultResilience and lets
+	// the other fields override it.
+	Defaults bool `json:"defaults,omitempty"`
+}
+
+// config lowers the spec onto hotc.ResilienceConfig.
+func (r ResilienceSpec) config() hotc.ResilienceConfig {
+	cfg := hotc.ResilienceConfig{}
+	if r.Defaults {
+		cfg = hotc.DefaultResilience()
+	}
+	if r.MaxAcquireRetries != 0 {
+		cfg.MaxAcquireRetries = r.MaxAcquireRetries
+	}
+	if r.RetryBackoffMs > 0 {
+		cfg.RetryBackoff = time.Duration(r.RetryBackoffMs * float64(time.Millisecond))
+	}
+	if r.BackoffFactor > 0 {
+		cfg.BackoffFactor = r.BackoffFactor
+	}
+	if r.BackoffMaxMs > 0 {
+		cfg.BackoffMax = time.Duration(r.BackoffMaxMs * float64(time.Millisecond))
+	}
+	if r.BackoffJitter > 0 {
+		cfg.BackoffJitter = r.BackoffJitter
+	}
+	if r.ExecRetries != 0 {
+		cfg.ExecRetries = r.ExecRetries
+	}
+	if r.BreakerThreshold != 0 {
+		cfg.BreakerThreshold = r.BreakerThreshold
+	}
+	if r.BreakerOpenSec > 0 {
+		cfg.BreakerOpenFor = time.Duration(r.BreakerOpenSec * float64(time.Second))
+	}
+	return cfg
 }
 
 // ClusterSpec configures a multi-host run.
@@ -146,6 +209,14 @@ func (s *Spec) validate() error {
 	if s.Workload.Kind == "" {
 		return fmt.Errorf("scenario: workload kind is required")
 	}
+	if s.Cluster != nil && (s.Faults != nil || s.Resilience != nil) {
+		return fmt.Errorf("scenario: faults and resilience are single-host only")
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -235,6 +306,11 @@ type Outcome struct {
 	LiveContainers int
 	// ServedByNode reports per-node request counts (cluster runs only).
 	ServedByNode map[string]int
+	// Faults counts the injected faults (zero when the spec has none).
+	Faults hotc.FaultStats
+	// Resilience snapshots the gateway's retry/breaker/fallback
+	// counters by name (empty when nothing fired).
+	Resilience map[string]int
 }
 
 // FunctionOutcome is the per-function breakdown.
@@ -249,14 +325,20 @@ func (s *Spec) Run() (*Outcome, error) {
 	if s.Cluster != nil {
 		return s.runCluster()
 	}
-	sim, err := hotc.NewSimulation(hotc.Config{
+	cfg := hotc.Config{
 		Profile:         hotc.Profile(orString(s.Profile, string(hotc.ProfileServer))),
 		Policy:          hotc.Policy(orString(s.Policy, string(hotc.PolicyHotC))),
 		Seed:            s.Seed,
 		KeepAliveWindow: time.Duration(s.KeepAliveSec * float64(time.Second)),
 		ControlInterval: time.Duration(s.ControlIntervalSec * float64(time.Second)),
 		LocalImages:     true,
-	})
+		Faults:          s.Faults,
+	}
+	if s.Resilience != nil {
+		rc := s.Resilience.config()
+		cfg.Resilience = &rc
+	}
+	sim, err := hotc.NewSimulation(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -308,6 +390,8 @@ func (s *Spec) Run() (*Outcome, error) {
 		Stats:          hotc.Summarize(results),
 		PerFunction:    make(map[string]FunctionOutcome),
 		LiveContainers: sim.LiveContainers(),
+		Faults:         sim.FaultStats(),
+		Resilience:     sim.ResilienceCounters(),
 	}
 	sums := map[string]float64{}
 	for _, r := range results {

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"hotc"
 )
@@ -200,5 +201,40 @@ func TestClusterScenarioBadRouting(t *testing.T) {
 	}
 	if _, err := spec.Run(); err == nil {
 		t.Fatal("bad routing accepted")
+	}
+}
+
+func TestResilienceSpecLowering(t *testing.T) {
+	// Defaults alone reproduce hotc.DefaultResilience.
+	if got := (ResilienceSpec{Defaults: true}).config(); got != hotc.DefaultResilience() {
+		t.Fatalf("defaults lowering = %+v", got)
+	}
+	// Overrides win over defaults; unset fields keep the default.
+	got := ResilienceSpec{Defaults: true, BreakerThreshold: 9, RetryBackoffMs: 250}.config()
+	want := hotc.DefaultResilience()
+	want.BreakerThreshold = 9
+	want.RetryBackoff = 250 * time.Millisecond
+	if got != want {
+		t.Fatalf("override lowering = %+v, want %+v", got, want)
+	}
+	// Without Defaults only the set fields are non-zero.
+	bare := ResilienceSpec{ExecRetries: 1}.config()
+	if bare.ExecRetries != 1 || bare.MaxAcquireRetries != 0 || bare.BreakerThreshold != 0 {
+		t.Fatalf("bare lowering = %+v", bare)
+	}
+}
+
+func TestFaultSpecValidation(t *testing.T) {
+	// A cluster spec cannot carry faults or resilience knobs.
+	bad := `{"functions":[{"name":"x","app":"qr-go"}],"workload":{"kind":"serial"},
+		"cluster":{"nodes":2},"faults":{"rules":[{"createFailRate":0.1}]}}`
+	if _, err := Parse([]byte(bad)); err == nil {
+		t.Error("cluster+faults accepted")
+	}
+	// Invalid fault rates are rejected at parse time.
+	bad = `{"functions":[{"name":"x","app":"qr-go"}],"workload":{"kind":"serial"},
+		"faults":{"rules":[{"createFailRate":1.5}]}}`
+	if _, err := Parse([]byte(bad)); err == nil {
+		t.Error("out-of-range fault rate accepted")
 	}
 }

@@ -1,0 +1,18 @@
+package trace
+
+import "time"
+
+// FaultEvent annotates one resilience event observed while a request
+// was being served: an acquire retry, a circuit-breaker transition, a
+// quarantined container, or a fallback cold start. The gateway attaches
+// these to each request's Result so chaos experiments can attribute
+// tail latency to the specific recovery actions that produced it.
+type FaultEvent struct {
+	// At is the virtual time the event occurred.
+	At time.Duration
+	// Kind classifies the event: "acquire-retry", "exec-fallback",
+	// "quarantine", "breaker-open", "breaker-close", "degraded-cold".
+	Kind string
+	// Detail carries event-specific context (error text, container ID).
+	Detail string
+}
