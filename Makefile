@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test verify bench lint-metrics
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full verification tier: build, vet, race-enabled tests, metric-name lint.
+verify:
+	./scripts/verify.sh
+
+lint-metrics:
+	./scripts/lint-metrics.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./internal/bench/

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"hotc/internal/bench"
+	"hotc/internal/obs"
 )
 
 var experiments = map[string]func() *bench.Report{
@@ -44,7 +45,21 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	metricsDump := flag.String("metrics-dump", "", "write the accumulated metrics registry to this JSONL file")
+	spanLog := flag.String("span-log", "", "write per-request spans across all experiments to this JSONL file")
 	flag.Parse()
+
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+	)
+	if *metricsDump != "" || *spanLog != "" {
+		reg = obs.New()
+		if *spanLog != "" {
+			tracer = &obs.Tracer{}
+		}
+		bench.EnableObservability(reg, tracer)
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -92,5 +107,32 @@ func main() {
 				fmt.Fprintf(os.Stderr, "wrote %s\n", p)
 			}
 		}
+	}
+
+	if *metricsDump != "" {
+		dump(*metricsDump, func(f *os.File) error { return reg.WriteJSONL(f) })
+		fmt.Fprintf(os.Stderr, "metrics dumped to %s\n", *metricsDump)
+	}
+	if *spanLog != "" {
+		dump(*spanLog, func(f *os.File) error { return obs.WriteSpans(f, tracer.Spans()) })
+		fmt.Fprintf(os.Stderr, "%d spans written to %s\n", tracer.Len(), *spanLog)
+	}
+}
+
+// dump creates path and runs the writer against it, dying on error.
+func dump(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotc-bench:", err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "hotc-bench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "hotc-bench:", err)
+		os.Exit(1)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hotc"
+	"hotc/internal/obs"
 	"hotc/internal/scenario"
 )
 
@@ -39,6 +40,9 @@ func main() {
 		traceFile   = flag.String("trace", "", "replay this CSV schedule instead of a generated pattern")
 		specFile    = flag.String("spec", "", "run a declarative JSON scenario spec and exit")
 		verbose     = flag.Bool("v", false, "print every request")
+		spanLog     = flag.String("span-log", "", "write per-request spans to this JSONL file")
+		metricsDump = flag.String("metrics-dump", "", "write the metrics registry to this JSONL file")
+		report      = flag.Bool("report", false, "print the per-phase latency breakdown from recorded spans")
 	)
 	flag.Parse()
 
@@ -53,6 +57,7 @@ func main() {
 		Seed:            *seed,
 		KeepAliveWindow: *keepalive,
 		LocalImages:     true,
+		RecordSpans:     *spanLog != "" || *report,
 	})
 	if err != nil {
 		fatal(err)
@@ -126,6 +131,34 @@ func main() {
 		st.Requests, st.ColdStarts, st.Reused, st.MeanMS, st.P99MS, st.MaxMS)
 	fmt.Printf("live containers at end: %d; host cpu=%.1f%% mem=%.0fMB\n",
 		sim.LiveContainers(), sim.HostCPUPct(), sim.HostMemMB())
+
+	if *report {
+		fmt.Printf("\nlatency breakdown (spans):\n%s", obs.Summarize(sim.Spans()).Render())
+	}
+	if *spanLog != "" {
+		writeFile(*spanLog, func(f *os.File) error { return obs.WriteSpans(f, sim.Spans()) })
+		fmt.Printf("spans: %d written to %s\n", len(sim.Spans()), *spanLog)
+	}
+	if *metricsDump != "" {
+		writeFile(*metricsDump, func(f *os.File) error { return sim.Metrics().WriteJSONL(f) })
+		fmt.Printf("metrics dumped to %s\n", *metricsDump)
+	}
+}
+
+// writeFile creates path and runs the writer against it, dying on any
+// error.
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func runSpec(path string) {

@@ -16,6 +16,9 @@
 //	hotc-trace key [docker-run-style args...]
 //	    run Parameter Analysis on a command and print the canonical
 //	    pool key and the relaxed key
+//	hotc-trace spans <spans.jsonl>
+//	    summarize a span log (hotc-sim -span-log) into the per-phase
+//	    latency breakdown table
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"hotc"
 	"hotc/internal/config"
 	"hotc/internal/image"
+	"hotc/internal/obs"
 	"hotc/internal/rng"
 	"hotc/internal/trace"
 )
@@ -46,13 +50,15 @@ func main() {
 		parseCmd(os.Args[2:])
 	case "key":
 		keyCmd(os.Args[2:])
+	case "spans":
+		spansCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hotc-trace campus|pattern|corpus|parse|key [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hotc-trace campus|pattern|corpus|parse|key|spans [flags]")
 	os.Exit(2)
 }
 
@@ -188,6 +194,25 @@ func parseCmd(args []string) {
 	if len(df.Volumes) > 0 {
 		fmt.Printf("volumes: %v\n", df.Volumes)
 	}
+}
+
+func spansCmd(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hotc-trace spans <spans.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotc-trace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpans(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotc-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Print(obs.Summarize(spans).Render())
 }
 
 func keyCmd(args []string) {

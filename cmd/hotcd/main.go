@@ -30,11 +30,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		idleTTL = flag.Duration("idle-ttl", 5*time.Minute, "stop instances idle longer than this (0 = never)")
-		maxIdle = flag.Int("max-idle", 8, "max warm instances per function (0 = unlimited)")
-		reap    = flag.Duration("reap-interval", time.Second, "reaper scan interval")
-		preload = flag.Bool("preload", true, "deploy the builtin demo functions at startup")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		idleTTL   = flag.Duration("idle-ttl", 5*time.Minute, "stop instances idle longer than this (0 = never)")
+		maxIdle   = flag.Int("max-idle", 8, "max warm instances per function (0 = unlimited)")
+		reap      = flag.Duration("reap-interval", time.Second, "reaper scan interval")
+		preload   = flag.Bool("preload", true, "deploy the builtin demo functions at startup")
+		brkThresh = flag.Int("breaker-threshold", 5, "consecutive backend failures that open a function's circuit breaker (0 = disabled)")
+		brkOpen   = flag.Duration("breaker-open", 30*time.Second, "how long an open breaker fast-fails before probing again")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -42,6 +45,9 @@ func main() {
 		IdleTTL:            *idleTTL,
 		MaxIdlePerFunction: *maxIdle,
 		ReapInterval:       *reap,
+		BreakerThreshold:   *brkThresh,
+		BreakerOpenFor:     *brkOpen,
+		EnablePprof:        *pprofOn,
 	})
 	if *preload {
 		for _, h := range live.Builtins() {
@@ -62,6 +68,10 @@ func main() {
 		fmt.Printf("preloaded functions: %v (cold start 400ms each)\n", live.Builtins())
 	}
 	fmt.Println("management: GET/POST /system/functions, GET /system/stats; invoke: POST /function/<name>")
+	fmt.Println("metrics: GET /metrics (Prometheus text exposition)")
+	if *pprofOn {
+		fmt.Println("profiling: GET /debug/pprof/")
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

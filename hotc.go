@@ -35,6 +35,7 @@ import (
 	"hotc/internal/host"
 	"hotc/internal/image"
 	"hotc/internal/metrics"
+	"hotc/internal/obs"
 	"hotc/internal/policy"
 	"hotc/internal/pool"
 	"hotc/internal/predictor"
@@ -139,6 +140,11 @@ type Config struct {
 	// circuit breaking). Nil keeps the seed behaviour: one linear
 	// retry, no breaker. Use DefaultResilience for sane chaos defaults.
 	Resilience *ResilienceConfig
+	// RecordSpans attaches a span tracer to the gateway: every request
+	// is recorded as a structured span over the §III.A timestamps,
+	// retrievable via Simulation.Spans. Off by default (spans cost
+	// memory proportional to the workload).
+	RecordSpans bool
 }
 
 // FaultsConfig specifies injected faults; it is JSON-serialisable and
@@ -284,6 +290,8 @@ type Simulation struct {
 	hotc     *core.HotC
 	provider faas.Provider
 	injector *faults.Injector
+	obsReg   *obs.Registry
+	tracer   *obs.Tracer
 }
 
 // NewSimulation wires a Simulation from the Config.
@@ -331,24 +339,38 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		// health check fails them on acquire and they are quarantined.
 		poolOpts.HealthCheck = inj.HealthCheck
 	}
+	// The registry is always on: metrics are cheap (a few map lookups
+	// per request) and every run can dump them for offline analysis.
+	s.obsReg = obs.New()
+	newPool := func() *pool.Pool {
+		p := pool.New(eng, poolOpts)
+		p.Instrument(s.obsReg)
+		return p
+	}
 	switch cfg.Policy {
 	case "", PolicyHotC:
 		h := core.New(eng, core.Options{Pool: poolOpts, Interval: cfg.ControlInterval})
+		h.Instrument(s.obsReg)
 		h.Start()
 		s.hotc = h
 		s.provider = h
 	case PolicyCold:
 		s.provider = policy.NewNoReuse(eng)
 	case PolicyKeepAlive:
-		s.provider = policy.NewFixedKeepAlive(pool.New(eng, poolOpts), cfg.KeepAliveWindow)
+		s.provider = policy.NewFixedKeepAlive(newPool(), cfg.KeepAliveWindow)
 	case PolicyWarmup:
-		s.provider = policy.NewPeriodicWarmup(pool.New(eng, poolOpts), 5*time.Minute, cfg.KeepAliveWindow)
+		s.provider = policy.NewPeriodicWarmup(newPool(), 5*time.Minute, cfg.KeepAliveWindow)
 	case PolicyHistogram:
-		s.provider = policy.NewHistogram(pool.New(eng, poolOpts))
+		s.provider = policy.NewHistogram(newPool())
 	default:
 		return nil, fmt.Errorf("hotc: unknown policy %q", cfg.Policy)
 	}
 	s.gateway = faas.NewGateway(eng, s.provider)
+	s.gateway.Instrument(s.obsReg)
+	if cfg.RecordSpans {
+		s.tracer = obs.NewTracer()
+		s.gateway.Trace(s.tracer)
+	}
 	if r := cfg.Resilience; r != nil {
 		s.gateway.MaxAcquireRetries = r.MaxAcquireRetries
 		if r.RetryBackoff > 0 {
@@ -525,6 +547,20 @@ func (s *Simulation) FaultStats() FaultStats {
 		return FaultStats{}
 	}
 	return s.injector.Stats()
+}
+
+// Metrics exposes the simulation's metrics registry: request
+// latency/queue/acquire histograms, pool occupancy gauges, controller
+// series. Dump it with WritePrometheus or WriteJSONL.
+func (s *Simulation) Metrics() *obs.Registry { return s.obsReg }
+
+// Spans returns the recorded request spans (empty unless
+// Config.RecordSpans was set).
+func (s *Simulation) Spans() []obs.Span {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.Spans()
 }
 
 // ResilienceCounters snapshots the gateway's resilience accounting:

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"hotc/internal/obs"
+	"hotc/internal/pool"
+)
+
+// Package-level observability hookup. The figure experiments build
+// their environments internally, so hotc-bench cannot thread a
+// registry through each call; instead it arms these before running and
+// every Env built afterwards instruments itself into them.
+var (
+	obsReg    *obs.Registry
+	obsTracer *obs.Tracer
+)
+
+// EnableObservability attaches a metrics registry and (optionally) a
+// span tracer to every environment NewEnv builds from now on. Families
+// are shared across environments, so counters accumulate over all
+// experiments in the run and gauges report the most recent
+// environment's state. Pass nil values to detach.
+//
+// Not safe to call while experiments are running; arm it once at
+// startup.
+func EnableObservability(reg *obs.Registry, tracer *obs.Tracer) {
+	obsReg = reg
+	obsTracer = tracer
+}
+
+// instrument wires an assembled environment into the armed registry
+// and tracer, covering the gateway plus whichever pool the policy
+// branch created.
+func (e *Env) instrument(p *pool.Pool) {
+	if obsReg != nil {
+		e.Gateway.Instrument(obsReg)
+		if e.HotC != nil {
+			e.HotC.Instrument(obsReg)
+		} else if p != nil {
+			p.Instrument(obsReg)
+		}
+	}
+	if obsTracer != nil {
+		e.Gateway.Trace(obsTracer)
+	}
+}

@@ -110,6 +110,7 @@ func NewEnv(kind PolicyKind, opts EnvOptions) *Env {
 		health = inj.HealthCheck
 	}
 
+	var p *pool.Pool
 	switch kind {
 	case PolicyCold:
 		env.Provider = policy.NewNoReuse(eng)
@@ -122,18 +123,19 @@ func NewEnv(kind PolicyKind, opts EnvOptions) *Env {
 		env.HotC = h
 		env.Provider = h
 	case PolicyKeepAlive:
-		p := pool.New(eng, pool.Options{MemUsedPct: env.Host.UsedMemPct, HealthCheck: health})
+		p = pool.New(eng, pool.Options{MemUsedPct: env.Host.UsedMemPct, HealthCheck: health})
 		env.Provider = policy.NewFixedKeepAlive(p, opts.KeepAliveWindow)
 	case PolicyWarmup:
-		p := pool.New(eng, pool.Options{MemUsedPct: env.Host.UsedMemPct, HealthCheck: health})
+		p = pool.New(eng, pool.Options{MemUsedPct: env.Host.UsedMemPct, HealthCheck: health})
 		env.Provider = policy.NewPeriodicWarmup(p, opts.WarmupPeriod, opts.KeepAliveWindow)
 	case PolicyHistogram:
-		p := pool.New(eng, pool.Options{MemUsedPct: env.Host.UsedMemPct, HealthCheck: health})
+		p = pool.New(eng, pool.Options{MemUsedPct: env.Host.UsedMemPct, HealthCheck: health})
 		env.Provider = policy.NewHistogram(p)
 	default:
 		panic(fmt.Sprintf("bench: unknown policy %q", kind))
 	}
 	env.Gateway = faas.NewGateway(eng, env.Provider)
+	env.instrument(p)
 	return env
 }
 

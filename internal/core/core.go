@@ -101,6 +101,10 @@ type HotC struct {
 
 	keys    map[config.Key]*keyState
 	stopCtl func()
+
+	// obs is the optional metric hookup (see Instrument); nil keeps the
+	// seed behaviour.
+	obs *instruments
 }
 
 // New builds HotC over a container engine.
@@ -210,6 +214,9 @@ func (h *HotC) Stop() {
 // towards the forecast.
 func (h *HotC) tick() {
 	now := h.sched.Now()
+	if h.obs != nil {
+		h.obs.ticks.Inc()
+	}
 	for key, st := range h.keys {
 		demand := float64(st.peak)
 		st.observed.Add(now, demand)
@@ -234,10 +241,20 @@ func (h *HotC) tick() {
 			target = 1
 		}
 
+		if h.obs != nil {
+			k := string(key)
+			h.obs.demand.With(k).Set(demand)
+			h.obs.forecast.With(k).Set(raw)
+			h.obs.target.With(k).Set(float64(target))
+		}
+
 		live := h.pool.NumLive(key)
 		switch {
 		case target > live && st.app.Name != "":
 			h.pool.Prewarm(st.spec, st.app, target-live, nil)
+			if h.obs != nil {
+				h.obs.prewarm.Add(float64(target - live))
+			}
 		case target < live:
 			// Hysteresis: retire at most ScaleDownFrac of the live set
 			// per tick (but always at least one), so a recurring burst
@@ -247,7 +264,10 @@ func (h *HotC) tick() {
 			if excess > cap {
 				excess = cap
 			}
-			h.pool.Retire(key, excess)
+			retired := h.pool.Retire(key, excess)
+			if h.obs != nil {
+				h.obs.retire.Add(float64(retired))
+			}
 		}
 		st.peak = st.inUse // restart the interval's peak tracking
 	}

@@ -28,6 +28,7 @@ import (
 	"hotc/internal/config"
 	"hotc/internal/container"
 	"hotc/internal/metrics"
+	"hotc/internal/obs"
 	"hotc/internal/rng"
 	"hotc/internal/simclock"
 	"hotc/internal/trace"
@@ -170,6 +171,11 @@ type Gateway struct {
 	breakers map[string]*Breaker
 	counters metrics.Counters
 	retries  int
+
+	// obs and tracer are the optional observability hooks (see
+	// Instrument and Trace); nil keeps the seed behaviour.
+	obs    *instruments
+	tracer *obs.Tracer
 }
 
 // Retries reports how many acquire retries the gateway has performed.
@@ -378,9 +384,19 @@ func (g *Gateway) handleAdmitted(fn Function, req trace.Request, ts Timestamps, 
 	brk := g.breakerFor(key)
 	backoff := g.backoff()
 
+	// admitAt is when the request cleared the concurrency queue; the
+	// gap back to ts.GatewayIn is pure queue wait.
+	admitAt := g.sched.Now()
+	if g.obs != nil {
+		g.obs.queueWait.With(name).ObserveDuration(admitAt - ts.GatewayIn)
+	}
+
 	var faults []trace.FaultEvent
 	annotate := func(kind, detail string) {
 		faults = append(faults, trace.FaultEvent{At: g.sched.Now(), Kind: kind, Detail: detail})
+		if g.obs != nil {
+			g.obs.events.With(kind).Inc()
+		}
 	}
 
 	// Error contract: a failed request still completes — done fires
@@ -390,6 +406,7 @@ func (g *Gateway) handleAdmitted(fn Function, req trace.Request, ts Timestamps, 
 	fail := func(err error) {
 		ts.ClientOut = g.sched.Now()
 		g.counters.Inc(CounterRequestsFailed)
+		g.record(req, name, key, ts, false, err, faults, admitAt)
 		finish(Result{Request: req, Function: name, Timestamps: ts, Err: err, Faults: faults})
 	}
 
@@ -457,6 +474,7 @@ func (g *Gateway) handleAdmitted(fn Function, req trace.Request, ts Timestamps, 
 						} else {
 							g.provider.Complete(c, spec)
 						}
+						g.record(req, name, key, ts, reused, nil, faults, admitAt)
 						finish(Result{
 							Request:    req,
 							Function:   name,
@@ -488,6 +506,7 @@ func (g *Gateway) handleAdmitted(fn Function, req trace.Request, ts Timestamps, 
 	// inside Acquire, i.e. between (1) and (2) the request is waiting
 	// for the backend to scale from zero.
 	acquire = func(attempt, execAttempt int) {
+		g.setBreakerGauge(key, brk)
 		if brk != nil && !brk.Allow(g.sched.Now()) {
 			// Breaker open: degrade to a dedicated cold start that
 			// bypasses the provider entirely. The request completes at
@@ -509,6 +528,7 @@ func (g *Gateway) handleAdmitted(fn Function, req trace.Request, ts Timestamps, 
 					g.counters.Inc(CounterBreakerTrips)
 					annotate("breaker-open", key)
 				}
+				g.setBreakerGauge(key, brk)
 				retryOrFail(attempt, execAttempt, err)
 				return
 			}
@@ -518,6 +538,7 @@ func (g *Gateway) handleAdmitted(fn Function, req trace.Request, ts Timestamps, 
 					annotate("breaker-close", key)
 				}
 				brk.OnSuccess()
+				g.setBreakerGauge(key, brk)
 			}
 			runExec(c, reused, delta, false, execAttempt)
 		})

@@ -1,0 +1,114 @@
+package faas
+
+import (
+	"time"
+
+	"hotc/internal/obs"
+	"hotc/internal/simclock"
+	"hotc/internal/trace"
+)
+
+// instruments bundles the gateway's metric families. nil (the default)
+// means uninstrumented — the hot path pays only a nil check.
+type instruments struct {
+	requests     *obs.CounterVec   // hotc_requests_total{function, outcome}
+	starts       *obs.CounterVec   // hotc_starts_total{mode}
+	latency      *obs.HistogramVec // hotc_request_latency_ms{function}
+	queueWait    *obs.HistogramVec // hotc_gateway_queue_wait_ms{function}
+	acquire      *obs.HistogramVec // hotc_acquire_latency_ms{key}
+	events       *obs.CounterVec   // hotc_resilience_events_total{kind}
+	breakerState *obs.GaugeVec     // hotc_breaker_state{key}
+}
+
+// Instrument registers the gateway's metric families on the registry
+// and turns on recording. Safe to call before any traffic; calling with
+// nil turns instrumentation off.
+func (g *Gateway) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		g.obs = nil
+		return
+	}
+	g.obs = &instruments{
+		requests: reg.CounterVec("hotc_requests_total",
+			"Requests handled by the gateway, by function and outcome (ok|error).",
+			"function", "outcome"),
+		starts: reg.CounterVec("hotc_starts_total",
+			"Container starts behind served requests, by mode (warm = live runtime reused, cold = fresh boot).",
+			"mode"),
+		latency: reg.HistogramVec("hotc_request_latency_ms",
+			"End-to-end request latency (client in to client out), in milliseconds.",
+			obs.DefaultLatencyBucketsMS(), "function"),
+		queueWait: reg.HistogramVec("hotc_gateway_queue_wait_ms",
+			"Time spent queued behind the per-function concurrency cap, in milliseconds.",
+			obs.DefaultLatencyBucketsMS(), "function"),
+		acquire: reg.HistogramVec("hotc_acquire_latency_ms",
+			"Gateway-to-watchdog time: forwarding plus runtime acquisition with retries, in milliseconds.",
+			obs.DefaultLatencyBucketsMS(), "key"),
+		events: reg.CounterVec("hotc_resilience_events_total",
+			"Resilience events on the request path, by kind.",
+			"kind"),
+		breakerState: reg.GaugeVec("hotc_breaker_state",
+			"Per-runtime-key circuit breaker state (0 closed, 1 open, 2 half-open).",
+			"key"),
+	}
+}
+
+// Trace attaches a span tracer: every completed request (success or
+// failure) is recorded as an obs.Span over the §III.A timestamps.
+func (g *Gateway) Trace(t *obs.Tracer) { g.tracer = t }
+
+// setBreakerGauge reflects a breaker transition into the state gauge.
+func (g *Gateway) setBreakerGauge(key string, brk *Breaker) {
+	if g.obs == nil || brk == nil {
+		return
+	}
+	g.obs.breakerState.With(key).Set(float64(brk.State(g.sched.Now())))
+}
+
+// record emits the per-request metrics and span once the outcome is
+// known. admitAt is when the request cleared the concurrency queue;
+// arrival is ts.GatewayIn (stamped at Handle).
+func (g *Gateway) record(req trace.Request, name, key string, ts Timestamps,
+	reused bool, err error, faults []trace.FaultEvent, admitAt simclock.Time) {
+	if g.obs != nil {
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		g.obs.requests.With(name, outcome).Inc()
+		if err == nil {
+			mode := "cold"
+			if reused {
+				mode = "warm"
+			}
+			g.obs.starts.With(mode).Inc()
+			g.obs.latency.With(name).ObserveDuration(ts.Total())
+			if ts.WatchdogIn > 0 {
+				g.obs.acquire.With(key).ObserveDuration(ts.WatchdogIn - admitAt)
+			}
+		}
+	}
+	if g.tracer != nil {
+		s := obs.Span{
+			ID:          g.tracer.NextID(),
+			Function:    name,
+			Key:         key,
+			Round:       req.Round,
+			Reused:      reused,
+			ClientIn:    time.Duration(ts.GatewayIn),
+			GatewayIn:   time.Duration(admitAt),
+			WatchdogIn:  time.Duration(ts.WatchdogIn),
+			FuncStart:   time.Duration(ts.FuncStart),
+			FuncDone:    time.Duration(ts.FuncStop),
+			WatchdogOut: time.Duration(ts.WatchdogOut),
+			ClientOut:   time.Duration(ts.ClientOut),
+		}
+		if err != nil {
+			s.Err = err.Error()
+		}
+		for _, f := range faults {
+			s.Events = append(s.Events, obs.SpanEvent{At: f.At, Kind: f.Kind, Detail: f.Detail})
+		}
+		g.tracer.Record(s)
+	}
+}

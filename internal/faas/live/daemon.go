@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"hotc/internal/obs"
 )
 
 // PoolConfig tunes the daemon gateway's warm-instance management,
@@ -20,6 +23,17 @@ type PoolConfig struct {
 	// ReapInterval is how often the reaper scans (default 1s when a
 	// TTL is set).
 	ReapInterval time.Duration
+	// BreakerThreshold arms the per-function circuit breaker: after
+	// this many consecutive boot/proxy failures requests fast-fail with
+	// 503 until the open window elapses. 0 disables breaking.
+	BreakerThreshold int
+	// BreakerOpenFor is the open window before a half-open probe
+	// (default 30s when a threshold is set).
+	BreakerOpenFor time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// daemon mux. Off by default: profiling endpoints expose internals
+	// and should be opted into.
+	EnablePprof bool
 }
 
 // Daemon is the long-running HotC gateway server: the live gateway
@@ -37,6 +51,7 @@ type PoolConfig struct {
 type Daemon struct {
 	gw  *Gateway
 	cfg PoolConfig
+	reg *obs.Registry
 
 	mu       sync.Mutex
 	deployed []string
@@ -70,17 +85,27 @@ func builtinHandler(name string) (Handler, error) {
 	}
 }
 
-// NewDaemon wraps a reusing gateway with pool management.
+// NewDaemon wraps a reusing gateway with pool management, a metrics
+// registry and (optionally) a circuit breaker.
 func NewDaemon(cfg PoolConfig) *Daemon {
 	if cfg.ReapInterval <= 0 {
 		cfg.ReapInterval = time.Second
 	}
-	return &Daemon{
+	d := &Daemon{
 		gw:     NewGateway(true),
 		cfg:    cfg,
+		reg:    obs.New(),
 		stopCh: make(chan struct{}),
 	}
+	d.gw.Instrument(d.reg)
+	if cfg.BreakerThreshold > 0 {
+		d.gw.EnableBreaker(cfg.BreakerThreshold, cfg.BreakerOpenFor)
+	}
+	return d
 }
+
+// Registry exposes the daemon's metrics registry (served at /metrics).
+func (d *Daemon) Registry() *obs.Registry { return d.reg }
 
 // DeploySpec is the management-API deployment payload.
 type DeploySpec struct {
@@ -178,11 +203,26 @@ func (d *Daemon) routes() *http.ServeMux {
 		for _, n := range names {
 			warm[n] = d.gw.WarmInstances(n)
 		}
+		// resilience and warmAges share their source of truth with the
+		// /metrics endpoint (the same gateway counters and idle lists).
 		writeJSON(w, struct {
-			Stats Stats          `json:"stats"`
-			Warm  map[string]int `json:"warmInstances"`
-		}{d.gw.Stats(), warm})
+			Stats      Stats                `json:"stats"`
+			Warm       map[string]int       `json:"warmInstances"`
+			Resilience map[string]int       `json:"resilience"`
+			WarmAges   map[string][]float64 `json:"warmAgeSeconds"`
+		}{d.gw.Stats(), warm, d.gw.ResilienceCounters(), d.gw.WarmAges(time.Now())})
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		d.reg.WritePrometheus(w)
+	})
+	if d.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -233,5 +273,6 @@ func (d *Daemon) reapOnce(now time.Time) {
 			keep = keep[drop:]
 		}
 		d.gw.idle[name] = keep
+		d.gw.syncWarmGaugeLocked(name)
 	}
 }

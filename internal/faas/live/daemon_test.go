@@ -193,3 +193,138 @@ func TestBuiltinsListed(t *testing.T) {
 		t.Fatal("unknown builtin accepted")
 	}
 }
+
+func TestBreakerOpensAndRejects(t *testing.T) {
+	d, base := startDaemon(t, PoolConfig{BreakerThreshold: 2, BreakerOpenFor: time.Hour})
+	if err := d.Deploy(DeploySpec{Name: "echo", Handler: "echo"}); err != nil {
+		t.Fatal(err)
+	}
+	// A healthy request passes through a closed breaker.
+	if resp := postJSON(t, base+"/function/echo", "x"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy invoke = %d", resp.StatusCode)
+	}
+	// Feed the breaker consecutive backend failures until it trips.
+	d.gw.breakerFailure("echo", "boot.failures")
+	d.gw.breakerFailure("echo", "boot.failures")
+
+	resp := postJSON(t, base+"/function/echo", "x")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker invoke = %d, want 503", resp.StatusCode)
+	}
+
+	res := d.gw.ResilienceCounters()
+	for counter, want := range map[string]int{
+		"boot.failures":    2,
+		"breaker.trips":    1,
+		"breaker.rejected": 1,
+	} {
+		if res[counter] != want {
+			t.Errorf("resilience[%s] = %d, want %d (all: %v)", counter, res[counter], want, res)
+		}
+	}
+
+	// The trip is visible on /metrics as an open breaker gauge.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(body), `hotc_breaker_state{key="echo"} 1`) {
+		t.Fatalf("/metrics missing open breaker gauge:\n%s", body)
+	}
+
+	// Unknown functions keep 404ing rather than feeding or consulting
+	// the breaker.
+	if resp := postJSON(t, base+"/function/typo", "x"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown function = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	d, base := startDaemon(t, PoolConfig{})
+	if err := d.Deploy(DeploySpec{Name: "echo", Handler: "echo"}); err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, base+"/function/echo", "x")
+	postJSON(t, base+"/function/echo", "y")
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		`hotc_requests_total{function="echo",outcome="ok"} 2`,
+		`hotc_starts_total{mode="cold"} 1`,
+		`hotc_starts_total{mode="warm"} 1`,
+		`hotc_live_warm_instances{function="echo"} 1`,
+		`hotc_request_latency_ms_bucket{function="echo",le="+Inf"} 2`,
+		`# TYPE hotc_request_latency_ms histogram`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", text)
+	}
+}
+
+func TestStatsResilienceAndWarmAges(t *testing.T) {
+	d, base := startDaemon(t, PoolConfig{})
+	if err := d.Deploy(DeploySpec{Name: "echo", Handler: "echo"}); err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, base+"/function/echo", "x")
+
+	resp, err := http.Get(base + "/system/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Resilience map[string]int       `json:"resilience"`
+		WarmAges   map[string][]float64 `json:"warmAgeSeconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Resilience == nil {
+		t.Fatal("stats missing resilience counters")
+	}
+	ages := got.WarmAges["echo"]
+	if len(ages) != 1 || ages[0] < 0 || ages[0] > 60 {
+		t.Fatalf("warmAgeSeconds[echo] = %v, want one small non-negative age", ages)
+	}
+}
+
+func TestPprofGatedByConfig(t *testing.T) {
+	_, off := startDaemon(t, PoolConfig{})
+	resp, err := http.Get(off + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof disabled but GET /debug/pprof/ = %d", resp.StatusCode)
+	}
+
+	_, on := startDaemon(t, PoolConfig{EnablePprof: true})
+	resp, err = http.Get(on + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof enabled but GET /debug/pprof/ = %d", resp.StatusCode)
+	}
+}

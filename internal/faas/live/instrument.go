@@ -1,0 +1,200 @@
+package live
+
+import (
+	"sort"
+	"time"
+
+	"hotc/internal/faas"
+	"hotc/internal/obs"
+)
+
+// instruments bundles the live gateway's metric families. nil (the
+// default) means uninstrumented.
+type instruments struct {
+	requests     *obs.CounterVec   // hotc_requests_total{function, outcome}
+	starts       *obs.CounterVec   // hotc_starts_total{mode}
+	latency      *obs.HistogramVec // hotc_request_latency_ms{function}
+	warm         *obs.GaugeVec     // hotc_live_warm_instances{function}
+	events       *obs.CounterVec   // hotc_resilience_events_total{kind}
+	breakerState *obs.GaugeVec     // hotc_breaker_state{key}
+}
+
+// Instrument registers the gateway's metric families on the registry.
+// The families reuse the simulated pipeline's names, so dashboards
+// built against a sim dump read hotcd's /metrics unchanged. Calling
+// with nil turns instrumentation off.
+func (g *Gateway) Instrument(reg *obs.Registry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if reg == nil {
+		g.obs = nil
+		return
+	}
+	g.obs = &instruments{
+		requests: reg.CounterVec("hotc_requests_total",
+			"Requests handled by the gateway, by function and outcome (ok|error|rejected).",
+			"function", "outcome"),
+		starts: reg.CounterVec("hotc_starts_total",
+			"Watchdog instance starts behind served requests, by mode (warm = reused, cold = fresh boot).",
+			"mode"),
+		latency: reg.HistogramVec("hotc_request_latency_ms",
+			"End-to-end request latency at the gateway, in milliseconds.",
+			obs.DefaultLatencyBucketsMS(), "function"),
+		warm: reg.GaugeVec("hotc_live_warm_instances",
+			"Idle warm watchdog instances per function.",
+			"function"),
+		events: reg.CounterVec("hotc_resilience_events_total",
+			"Resilience events on the request path, by kind.",
+			"kind"),
+		breakerState: reg.GaugeVec("hotc_breaker_state",
+			"Per-function circuit breaker state (0 closed, 1 open, 2 half-open).",
+			"key"),
+	}
+}
+
+// EnableBreaker arms a per-function circuit breaker: after threshold
+// consecutive boot/proxy failures the function fast-fails with 503
+// until openFor elapses and a probe succeeds. Call before traffic;
+// threshold <= 0 disables breaking (the default).
+func (g *Gateway) EnableBreaker(threshold int, openFor time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.breakerThreshold = threshold
+	g.breakerOpenFor = openFor
+}
+
+// since is the gateway's monotonic clock for the breaker: offsets from
+// the gateway's construction, matching the simulated breaker's virtual
+// time contract.
+func (g *Gateway) since() time.Duration { return time.Since(g.epoch) }
+
+// breakerLocked lazily builds the breaker guarding a function; nil when
+// breaking is disabled. Caller holds g.mu.
+func (g *Gateway) breakerLocked(name string) *faas.Breaker {
+	if g.breakerThreshold <= 0 {
+		return nil
+	}
+	b := g.breakers[name]
+	if b == nil {
+		b = faas.NewBreaker(g.breakerThreshold, g.breakerOpenFor)
+		g.breakers[name] = b
+	}
+	return b
+}
+
+// breakerAllow reports whether a request for the function may proceed,
+// counting and fast-fail accounting when it may not.
+func (g *Gateway) breakerAllow(name string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.breakerLocked(name)
+	if b == nil {
+		return true
+	}
+	ok := b.Allow(g.since())
+	if !ok {
+		g.res["breaker.rejected"]++
+		g.eventLocked("breaker-rejected")
+	}
+	g.syncBreakerGaugeLocked(name, b)
+	return ok
+}
+
+// breakerFailure feeds a backend failure (boot or proxy) into the
+// function's breaker and bumps the named resilience counter.
+func (g *Gateway) breakerFailure(name, counter string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.res[counter]++
+	g.eventLocked(counter)
+	b := g.breakerLocked(name)
+	if b == nil {
+		return
+	}
+	if b.OnFailure(g.since()) {
+		g.res["breaker.trips"]++
+		g.eventLocked("breaker-open")
+	}
+	g.syncBreakerGaugeLocked(name, b)
+}
+
+// breakerSuccess records a successful proxy round-trip.
+func (g *Gateway) breakerSuccess(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.breakerLocked(name)
+	if b == nil {
+		return
+	}
+	if b.State(g.since()) != faas.BreakerClosed {
+		g.res["breaker.closes"]++
+		g.eventLocked("breaker-close")
+	}
+	b.OnSuccess()
+	g.syncBreakerGaugeLocked(name, b)
+}
+
+// eventLocked bumps the resilience-event metric. Caller holds g.mu.
+func (g *Gateway) eventLocked(kind string) {
+	if g.obs != nil {
+		g.obs.events.With(kind).Inc()
+	}
+}
+
+func (g *Gateway) syncBreakerGaugeLocked(name string, b *faas.Breaker) {
+	if g.obs != nil && b != nil {
+		g.obs.breakerState.With(name).Set(float64(b.State(g.since())))
+	}
+}
+
+// syncWarmGaugeLocked refreshes the warm-pool gauge for a function.
+// Caller holds g.mu.
+func (g *Gateway) syncWarmGaugeLocked(name string) {
+	if g.obs != nil {
+		g.obs.warm.With(name).Set(float64(len(g.idle[name])))
+	}
+}
+
+// observe emits the per-request latency and outcome counters.
+func (g *Gateway) observe(name, outcome string, start time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.obs == nil {
+		return
+	}
+	g.obs.requests.With(name, outcome).Inc()
+	g.obs.latency.With(name).ObserveDuration(time.Since(start))
+}
+
+// ResilienceCounters snapshots the gateway's failure/breaker counters
+// (boot.failures, proxy.failures, breaker.trips, breaker.closes,
+// breaker.rejected). Counters with zero value are absent.
+func (g *Gateway) ResilienceCounters() map[string]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]int, len(g.res))
+	for k, v := range g.res {
+		out[k] = v
+	}
+	return out
+}
+
+// WarmAges reports each function's idle warm-instance ages at now, in
+// seconds, oldest first.
+func (g *Gateway) WarmAges(now time.Time) map[string][]float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string][]float64, len(g.idle))
+	for name, list := range g.idle {
+		if len(list) == 0 {
+			continue
+		}
+		ages := make([]float64, 0, len(list))
+		for _, inst := range list {
+			ages = append(ages, now.Sub(inst.idleSince).Seconds())
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(ages)))
+		out[name] = ages
+	}
+	return out
+}

@@ -24,6 +24,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"hotc/internal/faas"
 )
 
 // Handler is the function body: bytes in, bytes out.
@@ -96,11 +98,24 @@ type Stats struct {
 // Gateway proxies /function/<name> requests to watchdog instances.
 type Gateway struct {
 	reuse bool
+	// epoch anchors the breaker's monotonic clock.
+	epoch time.Time
 
 	mu    sync.Mutex
 	fns   map[string]Function
 	idle  map[string][]*instance
 	stats Stats
+
+	// breakerThreshold/breakerOpenFor arm the per-function circuit
+	// breaker (see EnableBreaker); breakers and res hold its state and
+	// the resilience counters.
+	breakerThreshold int
+	breakerOpenFor   time.Duration
+	breakers         map[string]*faas.Breaker
+	res              map[string]int
+
+	// obs is the optional metric hookup (see Instrument).
+	obs *instruments
 
 	server *http.Server
 	lis    net.Listener
@@ -112,10 +127,13 @@ type Gateway struct {
 // boots and tears down an instance (the default cold behaviour).
 func NewGateway(reuse bool) *Gateway {
 	return &Gateway{
-		reuse:  reuse,
-		fns:    make(map[string]Function),
-		idle:   make(map[string][]*instance),
-		client: &http.Client{Timeout: 30 * time.Second},
+		reuse:    reuse,
+		epoch:    time.Now(),
+		fns:      make(map[string]Function),
+		idle:     make(map[string][]*instance),
+		breakers: make(map[string]*faas.Breaker),
+		res:      make(map[string]int),
+		client:   &http.Client{Timeout: 30 * time.Second},
 	}
 }
 
@@ -200,6 +218,7 @@ func (g *Gateway) acquire(name string) (*instance, bool, error) {
 		g.idle[name] = list[:len(list)-1]
 		g.stats.Reused++
 		g.stats.Requests++
+		g.syncWarmGaugeLocked(name)
 		g.mu.Unlock()
 		return inst, true, nil
 	}
@@ -220,30 +239,78 @@ func (g *Gateway) release(name string, inst *instance) {
 	g.mu.Lock()
 	inst.idleSince = time.Now()
 	g.idle[name] = append(g.idle[name], inst)
+	g.syncWarmGaugeLocked(name)
 	g.mu.Unlock()
 }
 
 func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/function/")
-	inst, reused, err := g.acquire(name)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+	start := time.Now()
+
+	// Unknown functions are a client error and must not feed the
+	// breaker: a typo cannot open the circuit for a healthy function.
+	g.mu.Lock()
+	_, known := g.fns[name]
+	g.mu.Unlock()
+	if !known {
+		g.observe(name, "error", start)
+		http.Error(w, fmt.Sprintf("live: unknown function %q", name), http.StatusNotFound)
 		return
 	}
-	defer g.release(name, inst)
 
-	// Forward to the watchdog over a real socket.
+	// While the breaker is open, fast-fail instead of piling boots onto
+	// a failing backend.
+	if !g.breakerAllow(name) {
+		g.observe(name, "rejected", start)
+		http.Error(w, fmt.Sprintf("live: circuit breaker open for %q", name), http.StatusServiceUnavailable)
+		return
+	}
+
+	inst, reused, err := g.acquire(name)
+	if err != nil {
+		g.breakerFailure(name, "boot.failures")
+		g.observe(name, "error", start)
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+
+	// Forward to the watchdog over a real socket. A transport failure
+	// makes the instance suspect: tear it down rather than re-pool it.
 	resp, err := g.client.Post("http://"+inst.addr+"/", "application/octet-stream", r.Body)
 	if err != nil {
+		inst.stop()
+		g.breakerFailure(name, "proxy.failures")
+		g.observe(name, "error", start)
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
+		inst.stop()
+		g.breakerFailure(name, "proxy.failures")
+		g.observe(name, "error", start)
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
+	// The round-trip worked; a handler-level error status is the
+	// function's business, not a runtime fault.
+	g.release(name, inst)
+	g.breakerSuccess(name)
+	outcome := "ok"
+	if resp.StatusCode >= 400 {
+		outcome = "error"
+	}
+	g.mu.Lock()
+	if g.obs != nil {
+		mode := "cold"
+		if reused {
+			mode = "warm"
+		}
+		g.obs.starts.With(mode).Inc()
+	}
+	g.mu.Unlock()
+	g.observe(name, outcome, start)
 	w.Header().Set("X-Hotc-Reused", fmt.Sprintf("%v", reused))
 	w.WriteHeader(resp.StatusCode)
 	w.Write(body)

@@ -39,9 +39,14 @@ func (s *Series) AddDuration(d time.Duration) {
 // Len reports the number of samples.
 func (s *Series) Len() int { return len(s.samples) }
 
-// Values returns the samples in arrival order. The caller must not
-// modify the returned slice.
-func (s *Series) Values() []float64 { return s.samples }
+// Values returns the samples in arrival order. The slice aliases the
+// series' internal storage; because callers historically sort or scale
+// it in place, handing it out invalidates the lazily-sorted cache so
+// the next distribution query re-sorts against the current contents.
+func (s *Series) Values() []float64 {
+	s.dirty = true
+	return s.samples
+}
 
 // At returns the i-th sample in arrival order.
 func (s *Series) At(i int) float64 { return s.samples[i] }
@@ -105,7 +110,9 @@ func (s *Series) Stddev() float64 {
 // interpolation between closest ranks. It returns 0 for an empty
 // series and panics on out-of-range p.
 func (s *Series) Percentile(p float64) float64 {
-	if p < 0 || p > 100 {
+	// NaN compares false against every bound, so it needs its own check
+	// or it would slip through and index with an undefined rank.
+	if math.IsNaN(p) || p < 0 || p > 100 {
 		panic(fmt.Sprintf("metrics: percentile %v out of range [0,100]", p))
 	}
 	if len(s.samples) == 0 {
@@ -118,8 +125,11 @@ func (s *Series) Percentile(p float64) float64 {
 	rank := p / 100 * float64(len(s.sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
-	if lo == hi {
-		return s.sorted[lo]
+	if hi > len(s.sorted)-1 { // guard float rounding at p near 100
+		hi = len(s.sorted) - 1
+	}
+	if lo >= hi {
+		return s.sorted[hi]
 	}
 	frac := rank - float64(lo)
 	return s.sorted[lo]*(1-frac) + s.sorted[hi]*frac

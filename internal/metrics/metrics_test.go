@@ -415,3 +415,60 @@ func TestPropertySortedCache(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPercentileNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(NaN) did not panic")
+		}
+	}()
+	seriesOf(1, 2, 3).Percentile(math.NaN())
+}
+
+// Regression: Values hands out the live sample slice and callers sort
+// it in place; the sorted cache must not survive that.
+func TestValuesInvalidatesSortedCache(t *testing.T) {
+	s := seriesOf(5, 1, 9, 3)
+	if got := s.Median(); !almost(got, 4) { // populate the cache
+		t.Fatalf("median = %v, want 4", got)
+	}
+	vs := s.Values()
+	for i := range vs {
+		vs[i] *= 10 // mutate through the alias
+	}
+	if got := s.Max(); !almost(got, 90) {
+		t.Fatalf("Max after external mutation = %v, want 90", got)
+	}
+	if got := s.Median(); !almost(got, 40) {
+		t.Fatalf("Median after external mutation = %v, want 40", got)
+	}
+}
+
+func TestPercentileDuplicatesAtBoundary(t *testing.T) {
+	// All mass at one value: every quantile must return it.
+	s := seriesOf(7, 7, 7, 7)
+	for _, p := range []float64{0, 25, 50, 75, 99, 100} {
+		if got := s.Percentile(p); got != 7 {
+			t.Fatalf("p%v = %v, want 7", p, got)
+		}
+	}
+	// A run of duplicates straddling the median rank.
+	s = seriesOf(1, 2, 2, 2, 3)
+	if got := s.Median(); !almost(got, 2) {
+		t.Fatalf("median = %v, want 2", got)
+	}
+	if got := s.Percentile(100); !almost(got, 3) {
+		t.Fatalf("p100 = %v, want 3", got)
+	}
+}
+
+func TestCDFSingleAndDuplicates(t *testing.T) {
+	if pts := seriesOf(4).CDF(); len(pts) != 1 || pts[0].Value != 4 || !almost(pts[0].Fraction, 1) {
+		t.Fatalf("single-sample CDF = %v", pts)
+	}
+	// Equal values collapse to one point carrying the full fraction.
+	pts := seriesOf(2, 2, 2).CDF()
+	if len(pts) != 1 || pts[0].Value != 2 || !almost(pts[0].Fraction, 1) {
+		t.Fatalf("all-duplicates CDF = %v", pts)
+	}
+}

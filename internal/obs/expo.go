@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers, cumulative
+// `le` buckets with a +Inf terminator, and _sum/_count per histogram
+// series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, r.Snapshot())
+}
+
+// WritePrometheus renders a snapshot in the text exposition format.
+func WritePrometheus(w io.Writer, fams []FamilySnapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Series {
+			switch f.Kind {
+			case "histogram":
+				cum := uint64(0)
+				for i, b := range f.Bounds {
+					cum += bucketCount(s.BucketCounts, i)
+					fmt.Fprintf(bw, "%s_bucket%s %d\n",
+						f.Name, labelString(f.Labels, s.LabelValues, "le", formatFloat(b)), cum)
+				}
+				cum += bucketCount(s.BucketCounts, len(f.Bounds))
+				fmt.Fprintf(bw, "%s_bucket%s %d\n",
+					f.Name, labelString(f.Labels, s.LabelValues, "le", "+Inf"), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n",
+					f.Name, labelString(f.Labels, s.LabelValues, "", ""), formatFloat(s.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n",
+					f.Name, labelString(f.Labels, s.LabelValues, "", ""), s.Count)
+			default:
+				fmt.Fprintf(bw, "%s%s %s\n",
+					f.Name, labelString(f.Labels, s.LabelValues, "", ""), formatFloat(s.Value))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func bucketCount(counts []uint64, i int) uint64 {
+	if i < len(counts) {
+		return counts[i]
+	}
+	return 0
+}
+
+// labelString renders {k="v",...}, optionally appending one extra
+// pair (the `le` bound), or "" when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		fmt.Fprintf(&b, "%s=%q", n, escapeLabel(v))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format. %q in
+// labelString already escapes quotes and backslashes; newlines must
+// become the two-character sequence \n, which %q also produces, so
+// only raw values are passed through here.
+func escapeLabel(v string) string { return v }
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, "\\", "\\\\")
+	return strings.ReplaceAll(h, "\n", "\\n")
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// metricLine is the JSONL wire shape of one metric series.
+type metricLine struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	Count  uint64            `json:"count,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+	Bounds []float64         `json:"bounds,omitempty"`
+	// BucketCounts are per-bucket (non-cumulative), last entry +Inf.
+	BucketCounts []uint64 `json:"bucketCounts,omitempty"`
+}
+
+// WriteJSONL dumps the registry one JSON object per series line, for
+// offline analysis of sim and bench runs.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, f := range r.Snapshot() {
+		for _, s := range f.Series {
+			line := metricLine{Name: f.Name, Kind: f.Kind, Value: s.Value,
+				Count: s.Count, Sum: s.Sum}
+			if len(f.Labels) > 0 {
+				line.Labels = make(map[string]string, len(f.Labels))
+				for i, n := range f.Labels {
+					if i < len(s.LabelValues) {
+						line.Labels[n] = s.LabelValues[i]
+					}
+				}
+			}
+			if f.Kind == "histogram" {
+				line.Bounds = f.Bounds
+				line.BucketCounts = s.BucketCounts
+			}
+			if err := enc.Encode(line); err != nil {
+				return fmt.Errorf("obs: writing metrics JSONL: %w", err)
+			}
+		}
+	}
+	return nil
+}

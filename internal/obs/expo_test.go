@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("hotc_requests_total", "Total requests.").Add(42)
+	r.GaugeVec("hotc_pool_live", "Live runtimes.", "key").With(`py3"edge\x`).Set(3)
+	h := r.Histogram("hotc_latency_ms", "Request latency.", []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(99)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	wants := []string{
+		"# HELP hotc_requests_total Total requests.",
+		"# TYPE hotc_requests_total counter",
+		"hotc_requests_total 42",
+		"# TYPE hotc_pool_live gauge",
+		`hotc_pool_live{key="py3\"edge\\x"} 3`,
+		"# TYPE hotc_latency_ms histogram",
+		`hotc_latency_ms_bucket{le="1"} 1`,
+		`hotc_latency_ms_bucket{le="5"} 3`,
+		`hotc_latency_ms_bucket{le="+Inf"} 4`,
+		"hotc_latency_ms_sum 105.5",
+		"hotc_latency_ms_count 4",
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q\n%s", w, out)
+		}
+	}
+
+	// Every non-comment line must parse as "name{...} value".
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "hotc_") {
+			t.Errorf("metric line without hotc_ prefix: %q", line)
+		}
+		if strings.Count(line, " ") < 1 {
+			t.Errorf("malformed metric line: %q", line)
+		}
+	}
+}
+
+func TestWritePrometheusHelpEscaping(t *testing.T) {
+	r := New()
+	r.Counter("hotc_x", "line1\nline2 \\ backslash")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `# HELP hotc_x line1\nline2 \\ backslash`) {
+		t.Errorf("help not escaped:\n%s", buf.String())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := New()
+	r.CounterVec("hotc_hits_total", "", "key").With("py3").Add(5)
+	h := r.Histogram("hotc_ms", "", []float64{10})
+	h.Observe(3)
+	h.Observe(30)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var got []metricLine
+	for _, l := range lines {
+		var m metricLine
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", l, err)
+		}
+		got = append(got, m)
+	}
+	// Snapshot is name-sorted: hotc_hits_total before hotc_ms.
+	if got[0].Name != "hotc_hits_total" || got[0].Value != 5 || got[0].Labels["key"] != "py3" {
+		t.Errorf("counter line = %+v", got[0])
+	}
+	if got[1].Name != "hotc_ms" || got[1].Count != 2 || got[1].Sum != 33 {
+		t.Errorf("histogram line = %+v", got[1])
+	}
+	if len(got[1].BucketCounts) != 2 || got[1].BucketCounts[0] != 1 || got[1].BucketCounts[1] != 1 {
+		t.Errorf("histogram buckets = %v", got[1].BucketCounts)
+	}
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteSpans streams spans as JSONL, one span object per line.
+func WriteSpans(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	for i, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("obs: writing span %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadSpans parses a JSONL span stream written by WriteSpans.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var spans []Span
+	for line := 1; ; line++ {
+		var s Span
+		if err := dec.Decode(&s); err == io.EOF {
+			return spans, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: reading span line %d: %w", line, err)
+		}
+		spans = append(spans, s)
+	}
+}

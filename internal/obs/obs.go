@@ -1,0 +1,425 @@
+// Package obs is the unified observability layer: a concurrency-safe
+// metrics registry (counters, gauges, histograms with configurable
+// bucket layouts, and labeled families of each) plus a per-request
+// span tracer over the paper's six §III.A workflow timestamps.
+//
+// The simulated pipeline (gateway, pool, controller) and the live
+// net/http daemon both record into the same registry types, so a sim
+// run's JSONL dump and hotcd's Prometheus /metrics endpoint expose the
+// same metric families under the same names. Every metric name must
+// match `hotc_[a-z_]+` — the registry enforces it at registration and
+// `scripts/lint-metrics.sh` enforces it at verify time — so dashboards
+// built against one binary work against the others.
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// nameRE is the metric naming scheme: a mandatory hotc_ prefix followed
+// by lowercase words separated by underscores.
+var nameRE = regexp.MustCompile(`^hotc_[a-z_]+$`)
+
+// Kind classifies a metric family.
+type Kind int
+
+// The metric kinds.
+const (
+	// KindCounter is a monotonically non-decreasing total.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram buckets observations by configurable upper bounds.
+	KindHistogram
+)
+
+// String returns the Prometheus type name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("obs.Kind(%d)", int(k))
+	}
+}
+
+// LinearBuckets returns n upper bounds starting at start, width apart.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n <= 0 || width <= 0 {
+		panic("obs: LinearBuckets needs n > 0 and width > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns n upper bounds starting at start, growing
+// by factor.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		panic("obs: ExponentialBuckets needs n > 0, start > 0, factor > 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefaultLatencyBucketsMS is the standard request-latency layout:
+// 1ms doubling to ~65s, covering warm hits through pathological cold
+// starts on the edge profile.
+func DefaultLatencyBucketsMS() []float64 { return ExponentialBuckets(1, 2, 17) }
+
+// Registry is a concurrency-safe collection of metric families.
+// Registration is get-or-create: asking twice for the same name with a
+// compatible shape returns the same family, so independent subsystems
+// can instrument themselves without coordinating; an incompatible
+// re-registration (different kind, labels or buckets) panics, as does
+// a name violating the hotc_[a-z_]+ scheme.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+// family is one named metric family with a fixed label set.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+	bounds []float64 // histogram upper bounds, strictly increasing
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one label-value combination's state. value is the
+// counter/gauge value; histograms use counts/sum/count.
+type series struct {
+	labelValues []string
+
+	mu     sync.Mutex
+	value  float64
+	counts []uint64 // per-bucket (non-cumulative); last entry is +Inf
+	sum    float64
+	count  uint64
+}
+
+const labelSep = "\x1f"
+
+func (f *family) get(labelValues []string) *series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values (%v), got %d",
+			f.name, len(f.labels), f.labels, len(labelValues)))
+	}
+	key := strings.Join(labelValues, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), labelValues...)}
+		if f.kind == KindHistogram {
+			s.counts = make([]uint64, len(f.bounds)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// family registers (or fetches) a family, validating the name and that
+// any prior registration has an identical shape.
+func (r *Registry) family(name, help string, kind Kind, labels []string, bounds []float64) *family {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: metric name %q violates the naming scheme hotc_[a-z_]+", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: %s histogram bounds must be strictly increasing (%v)", name, bounds))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labels) || !equalFloats(f.bounds, bounds) {
+			panic(fmt.Sprintf("obs: conflicting re-registration of %s", name))
+		}
+		return f
+	}
+	f := &family{
+		name:   name,
+		help:   help,
+		kind:   kind,
+		labels: append([]string(nil), labels...),
+		bounds: append([]float64(nil), bounds...),
+		series: make(map[string]*series),
+	}
+	r.fams[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter is a monotonically non-decreasing total.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v; negative v panics (a counter never goes down).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic(fmt.Sprintf("obs: counter decremented by %v", v))
+	}
+	c.s.mu.Lock()
+	c.s.value += v
+	c.s.mu.Unlock()
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.s.value
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	g.s.mu.Lock()
+	g.s.value = v
+	g.s.mu.Unlock()
+}
+
+// Add adjusts the value by v (negative to decrement).
+func (g *Gauge) Add(v float64) {
+	g.s.mu.Lock()
+	g.s.value += v
+	g.s.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
+	return g.s.value
+}
+
+// Histogram buckets observations by upper bound. A value lands in the
+// first bucket whose bound is >= the value (Prometheus `le`
+// semantics); values above every bound land in the implicit +Inf
+// bucket.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.f.bounds, v)
+	h.s.mu.Lock()
+	h.s.counts[i]++
+	h.s.sum += v
+	h.s.count++
+	h.s.mu.Unlock()
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.count
+}
+
+// Sum reports the total of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.sum
+}
+
+// BucketCount reports the (non-cumulative) count of bucket i; index
+// len(bounds) is the +Inf bucket.
+func (h *Histogram) BucketCount(i int) uint64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.counts[i]
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, KindCounter, nil, nil)
+	return &Counter{s: f.get(nil)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, KindGauge, nil, nil)
+	return &Gauge{s: f.get(nil)}
+}
+
+// Histogram registers (or fetches) an unlabeled histogram with the
+// given upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.family(name, help, KindHistogram, nil, bounds)
+	return &Histogram{f: f, s: f.get(nil)}
+}
+
+// CounterVec is a labeled family of counters.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or fetches) a counter family with the given
+// label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, KindCounter, labels, nil)}
+}
+
+// With returns the child counter for the label values (created on
+// first use).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return &Counter{s: v.f.get(labelValues)}
+}
+
+// GaugeVec is a labeled family of gauges.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or fetches) a gauge family with the given label
+// names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, KindGauge, labels, nil)}
+}
+
+// With returns the child gauge for the label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return &Gauge{s: v.f.get(labelValues)}
+}
+
+// HistogramVec is a labeled family of histograms sharing one bucket
+// layout.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or fetches) a histogram family with the
+// given bounds and label names.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, KindHistogram, labels, bounds)}
+}
+
+// With returns the child histogram for the label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return &Histogram{f: v.f, s: v.f.get(labelValues)}
+}
+
+// FamilySnapshot is a point-in-time copy of one metric family.
+type FamilySnapshot struct {
+	Name   string   `json:"name"`
+	Help   string   `json:"help,omitempty"`
+	Kind   string   `json:"kind"`
+	Labels []string `json:"labels,omitempty"`
+	// Bounds are the histogram bucket upper bounds (+Inf implicit).
+	Bounds []float64        `json:"bounds,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one label combination's values.
+type SeriesSnapshot struct {
+	LabelValues []string `json:"labelValues,omitempty"`
+	// Value is the counter total or gauge level.
+	Value float64 `json:"value,omitempty"`
+	// Count, Sum and BucketCounts describe a histogram; BucketCounts
+	// are per-bucket (non-cumulative), last entry +Inf.
+	Count        uint64   `json:"count,omitempty"`
+	Sum          float64  `json:"sum,omitempty"`
+	BucketCounts []uint64 `json:"bucketCounts,omitempty"`
+}
+
+// Snapshot copies every family, sorted by name with series sorted by
+// label values, so output is deterministic.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:   f.name,
+			Help:   f.help,
+			Kind:   f.kind.String(),
+			Labels: append([]string(nil), f.labels...),
+			Bounds: append([]float64(nil), f.bounds...),
+		}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			s.mu.Lock()
+			ss := SeriesSnapshot{
+				LabelValues: append([]string(nil), s.labelValues...),
+				Value:       s.value,
+				Count:       s.count,
+				Sum:         s.sum,
+			}
+			if f.kind == KindHistogram {
+				ss.BucketCounts = append([]uint64(nil), s.counts...)
+			}
+			s.mu.Unlock()
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.Unlock()
+		out = append(out, fs)
+	}
+	return out
+}

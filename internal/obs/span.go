@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanEvent annotates one resilience or recovery action observed while
+// the request was in flight (acquire retry, breaker transition,
+// quarantine, degraded cold start, ...).
+type SpanEvent struct {
+	// At is the virtual (sim) or monotonic (live) time of the event, in
+	// nanoseconds from the start of the run.
+	At time.Duration `json:"atNs"`
+	// Kind classifies the event, matching trace.FaultEvent kinds.
+	Kind string `json:"kind"`
+	// Detail carries event-specific context.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Span is the structured record of one request through the pipeline:
+// the six §III.A workflow timestamps plus identity, outcome and the
+// resilience events attached along the way. All timestamps are offsets
+// from the start of the run; a timestamp the request never reached
+// (e.g. on a failed acquire) is zero.
+type Span struct {
+	// ID orders spans within a run.
+	ID int `json:"id"`
+	// Function is the gateway-visible function name.
+	Function string `json:"function"`
+	// Key is the canonical runtime key the request resolved to.
+	Key string `json:"key,omitempty"`
+	// Round is the trace round of the originating request.
+	Round int `json:"round"`
+	// Reused reports whether a live container runtime was reused.
+	Reused bool `json:"reused"`
+	// Err is the failure message, empty on success.
+	Err string `json:"err,omitempty"`
+
+	// ClientIn is moment (1): the request arrives at the gateway.
+	ClientIn time.Duration `json:"clientInNs"`
+	// GatewayIn is when the gateway admitted the request past any
+	// per-function concurrency queue and began processing it.
+	GatewayIn time.Duration `json:"gatewayInNs"`
+	// WatchdogIn is moment (2): the request reaches the watchdog.
+	WatchdogIn time.Duration `json:"watchdogInNs"`
+	// FuncStart is moment (3): the function process starts executing.
+	FuncStart time.Duration `json:"funcStartNs"`
+	// FuncDone is moment (4): the function process stops.
+	FuncDone time.Duration `json:"funcDoneNs"`
+	// WatchdogOut is moment (5): the response leaves the watchdog.
+	WatchdogOut time.Duration `json:"watchdogOutNs"`
+	// ClientOut is moment (6): the client receives the response.
+	ClientOut time.Duration `json:"clientOutNs"`
+
+	// Events are the resilience events attached to the request.
+	Events []SpanEvent `json:"events,omitempty"`
+}
+
+// OK reports whether the request succeeded.
+func (s Span) OK() bool { return s.Err == "" }
+
+// gap returns to-from, or 0 when the later stamp is missing (a failed
+// request never reaches the later moments) or out of order. A zero
+// `from` is legitimate: the first simulated request arrives at virtual
+// time 0.
+func gap(from, to time.Duration) time.Duration {
+	if to == 0 || to < from {
+		return 0
+	}
+	return to - from
+}
+
+// Queue is the time spent waiting in the gateway's per-function
+// concurrency queue before processing began.
+func (s Span) Queue() time.Duration { return gap(s.ClientIn, s.GatewayIn) }
+
+// Acquire is the gateway→watchdog phase: request forwarding plus
+// container runtime acquisition (including retries and backoff). This
+// is the (1)→(2) gap net of queueing.
+func (s Span) Acquire() time.Duration { return gap(s.GatewayIn, s.WatchdogIn) }
+
+// Init is the (2)→(3) function-initiation gap — where cold start
+// lives.
+func (s Span) Init() time.Duration { return gap(s.WatchdogIn, s.FuncStart) }
+
+// Exec is the (3)→(4) function execution gap.
+func (s Span) Exec() time.Duration { return gap(s.FuncStart, s.FuncDone) }
+
+// Respond is the (4)→(6) response path: watchdog copy-out plus
+// gateway forwarding back to the client.
+func (s Span) Respond() time.Duration { return gap(s.FuncDone, s.ClientOut) }
+
+// Total is the end-to-end (1)→(6) latency the client observes.
+func (s Span) Total() time.Duration { return gap(s.ClientIn, s.ClientOut) }
+
+// Phases lists the span phase names in pipeline order; Phase answers
+// each by name.
+func Phases() []string { return []string{"queue", "acquire", "init", "exec", "respond", "total"} }
+
+// Phase returns the named phase duration (see Phases).
+func (s Span) Phase(name string) time.Duration {
+	switch name {
+	case "queue":
+		return s.Queue()
+	case "acquire":
+		return s.Acquire()
+	case "init":
+		return s.Init()
+	case "exec":
+		return s.Exec()
+	case "respond":
+		return s.Respond()
+	case "total":
+		return s.Total()
+	default:
+		return 0
+	}
+}
+
+// Tracer collects spans. It is safe for concurrent use: the simulated
+// gateway records from the scheduler goroutine, the live gateway from
+// arbitrary request handlers.
+type Tracer struct {
+	mu     sync.Mutex
+	spans  []Span
+	nextID int
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// NextID allocates the next span ID.
+func (t *Tracer) NextID() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	return t.nextID
+}
+
+// Record appends a completed span.
+func (t *Tracer) Record(s Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Len reports the number of recorded spans.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in record order.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}

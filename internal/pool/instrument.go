@@ -1,0 +1,60 @@
+package pool
+
+import (
+	"hotc/internal/config"
+	"hotc/internal/obs"
+)
+
+// instruments bundles the pool's metric families. nil (the default)
+// means uninstrumented.
+type instruments struct {
+	hits        *obs.CounterVec // hotc_pool_hits_total{kind}
+	misses      *obs.Counter    // hotc_pool_misses_total
+	evictions   *obs.Counter    // hotc_pool_evictions_total
+	prewarmed   *obs.Counter    // hotc_pool_prewarmed_total
+	retired     *obs.Counter    // hotc_pool_retired_total
+	quarantined *obs.Counter    // hotc_pool_quarantined_total
+	live        *obs.GaugeVec   // hotc_pool_live{key}
+	avail       *obs.GaugeVec   // hotc_pool_available{key}
+}
+
+// Instrument registers the pool's metric families on the registry and
+// keeps per-runtime-key occupancy gauges in sync from here on. Calling
+// with nil turns instrumentation off.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		p.obs = nil
+		return
+	}
+	p.obs = &instruments{
+		hits: reg.CounterVec("hotc_pool_hits_total",
+			"Acquire calls served by a live runtime, by match kind (exact|relaxed).",
+			"kind"),
+		misses: reg.Counter("hotc_pool_misses_total",
+			"Acquire calls that had to cold-start a new container."),
+		evictions: reg.Counter("hotc_pool_evictions_total",
+			"Forced terminations under the live cap or memory threshold."),
+		prewarmed: reg.Counter("hotc_pool_prewarmed_total",
+			"Containers created ahead of demand by the controller."),
+		retired: reg.Counter("hotc_pool_retired_total",
+			"Containers stopped by scale-down or keep-alive expiry."),
+		quarantined: reg.Counter("hotc_pool_quarantined_total",
+			"Containers removed after failing a health check or corrupting an execution."),
+		live: reg.GaugeVec("hotc_pool_live",
+			"Live pool containers (available or busy) per runtime key.",
+			"key"),
+		avail: reg.GaugeVec("hotc_pool_available",
+			"Pool containers available for immediate reuse per runtime key.",
+			"key"),
+	}
+}
+
+// syncKeyGauges refreshes the occupancy gauges for one runtime key.
+func (p *Pool) syncKeyGauges(key config.Key) {
+	if p.obs == nil {
+		return
+	}
+	k := string(key)
+	p.obs.live.With(k).Set(float64(p.NumLive(key)))
+	p.obs.avail.With(k).Set(float64(p.NumAvail(key)))
+}

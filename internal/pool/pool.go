@@ -120,6 +120,10 @@ type Pool struct {
 	quarantining map[*container.Container]bool
 
 	stats Stats
+
+	// obs is the optional metric hookup (see Instrument); nil keeps the
+	// seed behaviour.
+	obs *instruments
 }
 
 // New creates a pool over the engine.
@@ -199,6 +203,10 @@ func (p *Pool) Acquire(spec container.Spec, done func(c *container.Container, re
 			return
 		}
 		p.stats.Hits++
+		if p.obs != nil {
+			p.obs.hits.With("exact").Inc()
+		}
+		p.syncKeyGauges(key)
 		done(c, true, config.Delta{}, nil)
 		return
 	}
@@ -210,6 +218,10 @@ func (p *Pool) Acquire(spec container.Spec, done func(c *container.Container, re
 			if err := p.eng.Reserve(c); err == nil {
 				p.stats.Hits++
 				p.stats.RelaxedHits++
+				if p.obs != nil {
+					p.obs.hits.With("relaxed").Inc()
+				}
+				p.syncKeyGauges(c.Key())
 				delta := spec.Runtime.DeltaFrom(c.Spec.Runtime)
 				done(c, true, delta, nil)
 				return
@@ -219,6 +231,9 @@ func (p *Pool) Acquire(spec container.Spec, done func(c *container.Container, re
 
 	// Cold path: enforce caps, then start a new container.
 	p.stats.Misses++
+	if p.obs != nil {
+		p.obs.misses.Inc()
+	}
 	p.makeRoom()
 	p.eng.Create(spec, func(c *container.Container, err error) {
 		if err != nil {
@@ -230,6 +245,7 @@ func (p *Pool) Acquire(spec container.Spec, done func(c *container.Container, re
 			done(nil, false, config.Delta{}, fmt.Errorf("pool: reserving fresh container: %w", err))
 			return
 		}
+		p.syncKeyGauges(key)
 		done(c, false, config.Delta{}, nil)
 	})
 }
@@ -237,6 +253,7 @@ func (p *Pool) Acquire(spec container.Spec, done func(c *container.Container, re
 // ReleaseUnused returns a reserved-but-unused container to the pool.
 func (p *Pool) ReleaseUnused(c *container.Container) {
 	p.eng.Unreserve(c)
+	p.syncKeyGauges(c.Key())
 }
 
 // Release implements Algorithm 2: after the request finishes, clean
@@ -256,6 +273,7 @@ func (p *Pool) Release(c *container.Container, done func(error)) {
 		// was busy (requests must still be served); shrink back now
 		// that a container has become evictable.
 		p.shrinkToCap()
+		p.syncKeyGauges(c.Key())
 		done(err)
 	})
 }
@@ -295,7 +313,13 @@ func (p *Pool) Prewarm(spec container.Spec, app workload.App, n int, done func(e
 			}
 			p.admit(c)
 			p.stats.Prewarmed++
-			p.eng.Warmup(c, app, done)
+			if p.obs != nil {
+				p.obs.prewarmed.Inc()
+			}
+			p.eng.Warmup(c, app, func(err error) {
+				p.syncKeyGauges(c.Key())
+				done(err)
+			})
 		})
 	}
 }
@@ -314,6 +338,9 @@ func (p *Pool) Retire(key config.Key, n int) int {
 		}
 		p.remove(c)
 		p.stats.Retired++
+		if p.obs != nil {
+			p.obs.retired.Inc()
+		}
 		stopped++
 		p.eng.Stop(c, nil)
 	}
@@ -329,6 +356,9 @@ func (p *Pool) Stop(c *container.Container) bool {
 	}
 	p.remove(c)
 	p.stats.Retired++
+	if p.obs != nil {
+		p.obs.retired.Inc()
+	}
 	p.eng.Stop(c, nil)
 	return true
 }
@@ -373,6 +403,9 @@ func (p *Pool) EvictOldest() bool {
 	}
 	p.remove(victim)
 	p.stats.Evictions++
+	if p.obs != nil {
+		p.obs.evictions.Inc()
+	}
 	p.eng.Stop(victim, nil)
 	return true
 }
@@ -463,6 +496,9 @@ func (p *Pool) Quarantine(c *container.Container) {
 	p.quarantining[c] = true
 	p.remove(c)
 	p.stats.Quarantined++
+	if p.obs != nil {
+		p.obs.quarantined.Inc()
+	}
 	p.eng.Unreserve(c) // a reserved holder abandoning a bad container
 	p.eng.Stop(c, func() { delete(p.quarantining, c) })
 }
@@ -474,6 +510,7 @@ func (p *Pool) admit(c *container.Container) {
 	rk := c.Spec.Runtime.Relaxed()
 	p.byRelaxed[rk] = append(p.byRelaxed[rk], c)
 	p.specs[key] = c.Spec
+	p.syncKeyGauges(key)
 }
 
 // remove drops a container from the pool indexes.
@@ -488,6 +525,7 @@ func (p *Pool) remove(c *container.Container) {
 	if len(p.byRelaxed[rk]) == 0 {
 		delete(p.byRelaxed, rk)
 	}
+	p.syncKeyGauges(key)
 }
 
 func removeFrom(list []*container.Container, c *container.Container) []*container.Container {

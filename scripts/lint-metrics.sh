@@ -1,0 +1,23 @@
+#!/bin/sh
+# Lint: every metric name registered in non-test Go source must match
+# hotc_[a-z_]+ — the same rule obs.Registry enforces at runtime, caught
+# here before anything runs.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Pull the first string-literal argument of every registry constructor
+# call (Counter/Gauge/Histogram and their Vec forms) outside _test.go
+# files and the obs package itself (whose sources mention the rule).
+bad=$(grep -rn --include='*.go' --exclude='*_test.go' \
+        -E '\.(Counter|Gauge|Histogram|CounterVec|GaugeVec|HistogramVec)\("' \
+        cmd internal *.go 2>/dev/null |
+      grep -v '^internal/obs/' |
+      sed -E 's/.*\.(Counter|Gauge|Histogram|CounterVec|GaugeVec|HistogramVec)\("([^"]*)".*/\1 \2/' |
+      awk '$2 !~ /^hotc_[a-z_]+$/ {print}' || true)
+
+if [ -n "$bad" ]; then
+    echo "lint-metrics: metric names must match hotc_[a-z_]+:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "lint-metrics: OK"

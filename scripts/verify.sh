@@ -1,0 +1,14 @@
+#!/bin/sh
+# Full verification tier: what CI runs before merging.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+echo "== go vet"
+go vet ./...
+echo "== go test -race"
+go test -race ./...
+echo "== metric-name lint"
+./scripts/lint-metrics.sh
+echo "verify: OK"
