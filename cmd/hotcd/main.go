@@ -1,10 +1,12 @@
 // Command hotcd runs the HotC live gateway daemon: a real HTTP
-// serverless gateway with warm-instance reuse, idle-TTL reaping and a
-// management API, serving built-in demonstration functions.
+// serverless gateway with adaptive live-container control, warm-pool
+// reuse, keep-alive expiry and a management API, serving built-in
+// demonstration functions.
 //
 // Usage:
 //
-//	hotcd -addr 127.0.0.1:8080 -idle-ttl 5m -max-idle 4
+//	hotcd -addr 127.0.0.1:8080 -predictor es+markov -control-interval 2s \
+//	      -keepalive 5m -max-warm 8
 //
 // Then:
 //
@@ -12,6 +14,7 @@
 //	     -d '{"name":"up","handler":"upper","coldStartMs":400}'
 //	curl -XPOST localhost:8080/function/up -d 'hello'
 //	curl localhost:8080/system/stats
+//	curl localhost:8080/system/predictions
 //
 // The X-Hotc-Reused response header reports whether the request reused
 // a warm instance.
@@ -31,9 +34,12 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		idleTTL   = flag.Duration("idle-ttl", 5*time.Minute, "stop instances idle longer than this (0 = never)")
-		maxIdle   = flag.Int("max-idle", 8, "max warm instances per function (0 = unlimited)")
-		reap      = flag.Duration("reap-interval", time.Second, "reaper scan interval")
+		keepalive = flag.Duration("keepalive", 5*time.Minute, "stop instances idle longer than this (0 = never)")
+		maxWarm   = flag.Int("max-warm", 8, "max warm instances per function, evicting oldest first (0 = unlimited)")
+		reap      = flag.Duration("reap-interval", time.Second, "janitor scan interval for keep-alive expiry")
+		ctlEvery  = flag.Duration("control-interval", 2*time.Second, "adaptive controller period: demand is sampled and the warm pool resized every interval")
+		predName  = flag.String("predictor", "es+markov", "demand predictor driving prewarm/retire: es|markov|es+markov|off")
+		headroom  = flag.Float64("headroom", 0, "fraction added to every forecast before provisioning (0.1 = +10%)")
 		preload   = flag.Bool("preload", true, "deploy the builtin demo functions at startup")
 		brkThresh = flag.Int("breaker-threshold", 5, "consecutive backend failures that open a function's circuit breaker (0 = disabled)")
 		brkOpen   = flag.Duration("breaker-open", 30*time.Second, "how long an open breaker fast-fails before probing again")
@@ -41,10 +47,19 @@ func main() {
 	)
 	flag.Parse()
 
+	newPred, err := live.PredictorFactory(*predName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotcd:", err)
+		os.Exit(2)
+	}
+
 	d := live.NewDaemon(live.PoolConfig{
-		IdleTTL:            *idleTTL,
-		MaxIdlePerFunction: *maxIdle,
+		IdleTTL:            *keepalive,
+		MaxIdlePerFunction: *maxWarm,
 		ReapInterval:       *reap,
+		ControlInterval:    *ctlEvery,
+		NewPredictor:       newPred,
+		Headroom:           *headroom,
 		BreakerThreshold:   *brkThresh,
 		BreakerOpenFor:     *brkOpen,
 		EnablePprof:        *pprofOn,
@@ -67,7 +82,13 @@ func main() {
 	if *preload {
 		fmt.Printf("preloaded functions: %v (cold start 400ms each)\n", live.Builtins())
 	}
-	fmt.Println("management: GET/POST /system/functions, GET /system/stats; invoke: POST /function/<name>")
+	if newPred != nil {
+		fmt.Printf("adaptive control: predictor=%s interval=%v keepalive=%v max-warm=%d\n",
+			*predName, *ctlEvery, *keepalive, *maxWarm)
+	} else {
+		fmt.Printf("adaptive control: off (keepalive=%v max-warm=%d still enforced)\n", *keepalive, *maxWarm)
+	}
+	fmt.Println("management: GET/POST /system/functions, GET /system/stats, GET /system/predictions; invoke: POST /function/<name>")
 	fmt.Println("metrics: GET /metrics (Prometheus text exposition)")
 	if *pprofOn {
 		fmt.Println("profiling: GET /debug/pprof/")

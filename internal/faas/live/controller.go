@@ -1,0 +1,389 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hotc/internal/predictor"
+)
+
+// ControlConfig arms the live gateway's adaptive container control
+// (Algorithm 3) and warm-pool lifecycle discipline, mirroring the
+// simulated substrate's knobs on real sockets.
+type ControlConfig struct {
+	// Interval is the control-loop period: each tick observes the
+	// interval's peak concurrent demand, forecasts the next interval
+	// and resizes the warm pool towards it. Default 2s.
+	Interval time.Duration
+	// NewPredictor constructs the per-function demand predictor. nil
+	// disables prediction (no controller goroutines run); the janitor
+	// and warm cap stay active. Use PredictorFactory to resolve the
+	// hotcd flag names.
+	NewPredictor func() predictor.Predictor
+	// Headroom is added to every forecast before provisioning, as a
+	// fraction (0.1 = +10%). Default 0.
+	Headroom float64
+	// KeepAlive stops instances idle longer than this (0 = keep
+	// forever). Enforced by the janitor.
+	KeepAlive time.Duration
+	// MaxWarm caps idle warm instances per function (0 = no cap),
+	// enforced continuously: at release time, at prewarm time and by
+	// the janitor, always evicting oldest first.
+	MaxWarm int
+	// JanitorInterval is how often the janitor scans for expired
+	// instances. Default 1s.
+	JanitorInterval time.Duration
+}
+
+// liveScaleDownFrac caps how much of a function's live set the
+// controller retires per tick (hysteresis, matching the simulated
+// controller): a recurring burst finds most of the previous burst's
+// instances still warm.
+const liveScaleDownFrac = 0.25
+
+// ctlTraceCap bounds the per-function observed/predicted series kept
+// for the prediction-trace endpoint.
+const ctlTraceCap = 128
+
+// PredictorFactory resolves a predictor name — the hotcd -predictor
+// flag values — to a constructor: "es", "markov", "es+markov" (the
+// paper's combined predictor), or "off"/"" for no prediction.
+func PredictorFactory(name string) (func() predictor.Predictor, error) {
+	switch name {
+	case "", "off":
+		return nil, nil
+	case "es":
+		return func() predictor.Predictor { return predictor.NewES(predictor.DefaultAlpha) }, nil
+	case "markov":
+		return func() predictor.Predictor { return predictor.NewMarkov(predictor.DefaultStates) }, nil
+	case "es+markov":
+		return func() predictor.Predictor { return predictor.Default() }, nil
+	default:
+		return nil, fmt.Errorf("live: unknown predictor %q (want es|markov|es+markov|off)", name)
+	}
+}
+
+// fnControl is the per-function controller state: live demand
+// accounting plus the predictor and its one-step-ahead evaluation
+// series (the live substrate's Fig. 10 trace).
+type fnControl struct {
+	pred predictor.Predictor
+
+	inFlight int // requests currently executing
+	peak     int // max concurrent demand in the current interval
+	booting  int // prewarm boots in flight (counted as live)
+
+	forecast  float64 // prediction made at the previous tick
+	ticks     int
+	observed  []float64
+	predicted []float64
+}
+
+// EnableControl configures adaptive control. Call before Start; the
+// control loops launch when the gateway starts listening.
+func (g *Gateway) EnableControl(cfg ControlConfig) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.JanitorInterval <= 0 {
+		cfg.JanitorInterval = time.Second
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ctl = cfg
+}
+
+// fnCtlLocked returns (creating if needed) the per-function control
+// state. Caller holds g.mu.
+func (g *Gateway) fnCtlLocked(name string) *fnControl {
+	st := g.fnCtl[name]
+	if st == nil {
+		st = &fnControl{}
+		if g.ctl.NewPredictor != nil {
+			st.pred = g.ctl.NewPredictor()
+		}
+		g.fnCtl[name] = st
+	}
+	return st
+}
+
+// startControlLoops launches the janitor and one controller goroutine
+// per registered function. Functions registered later spawn theirs in
+// Register.
+func (g *Gateway) startControlLoops() {
+	g.mu.Lock()
+	if g.ctlRunning || g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	g.ctlRunning = true
+	runJanitor := g.ctl.KeepAlive > 0
+	var names []string
+	if g.ctl.NewPredictor != nil {
+		for name := range g.fns {
+			names = append(names, name)
+		}
+	}
+	g.wg.Add(len(names))
+	if runJanitor {
+		g.wg.Add(1)
+	}
+	g.mu.Unlock()
+
+	if runJanitor {
+		go g.runJanitor()
+	}
+	for _, name := range names {
+		go g.runController(name)
+	}
+}
+
+// runController is the per-function background control loop.
+func (g *Gateway) runController(name string) {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.ctl.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.ctlStop:
+			return
+		case <-ticker.C:
+			g.controlOnce(name, g.nowFn())
+		}
+	}
+}
+
+// controlOnce runs one control interval for a function: observe the
+// interval's peak concurrent demand, forecast the next interval, and
+// prewarm or retire warm instances towards the forecast. Tests call it
+// directly with deterministic clocks.
+func (g *Gateway) controlOnce(name string, now time.Time) {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	fn, known := g.fns[name]
+	if !known {
+		g.mu.Unlock()
+		return
+	}
+	st := g.fnCtlLocked(name)
+	if st.pred == nil {
+		g.mu.Unlock()
+		return
+	}
+
+	demand := float64(st.peak)
+	// One-step-ahead evaluation series: the forecast recorded against
+	// an interval is the one made *before* observing it.
+	st.observed = appendBounded(st.observed, demand)
+	st.predicted = appendBounded(st.predicted, st.forecast)
+	st.pred.Observe(demand)
+	raw := st.pred.Predict()
+	st.forecast = raw
+	st.ticks++
+	st.peak = st.inFlight // restart the interval's peak tracking
+
+	target := int(math.Ceil(raw * (1 + g.ctl.Headroom)))
+	if target < st.inFlight {
+		target = st.inFlight // never scale below what is executing
+	}
+	if g.ctl.MaxWarm > 0 && target > st.inFlight+g.ctl.MaxWarm {
+		target = st.inFlight + g.ctl.MaxWarm // idle share stays under the cap
+	}
+	live := st.inFlight + st.booting + len(g.idle[name])
+
+	boot := 0
+	var retire []*instance
+	switch {
+	case target > live:
+		boot = target - live
+		if g.ctl.MaxWarm > 0 {
+			if room := g.ctl.MaxWarm - len(g.idle[name]) - st.booting; boot > room {
+				boot = room
+			}
+		}
+		if boot < 0 {
+			boot = 0
+		}
+		st.booting += boot
+	case target < live:
+		// Hysteresis: retire at most liveScaleDownFrac of the live set
+		// per tick (but always at least one), oldest first.
+		excess := live - target
+		if cap := int(math.Ceil(float64(live) * liveScaleDownFrac)); excess > cap {
+			excess = cap
+		}
+		list := g.idle[name]
+		if excess > len(list) {
+			excess = len(list)
+		}
+		if excess > 0 {
+			retire = append(retire, list[:excess]...)
+			g.idle[name] = append(list[:0:0], list[excess:]...)
+			g.stats.Retired += excess
+			g.syncWarmGaugeLocked(name)
+		}
+	}
+	if g.obs != nil {
+		g.obs.ctlTicks.Inc()
+		g.obs.ctlDemand.With(name).Set(demand)
+		g.obs.ctlForecast.With(name).Set(raw)
+		g.obs.ctlTarget.With(name).Set(float64(target))
+		if len(retire) > 0 {
+			g.obs.ctlRetire.Add(float64(len(retire)))
+			g.obs.poolRetired.Add(float64(len(retire)))
+		}
+	}
+	g.wg.Add(boot)
+	g.mu.Unlock()
+
+	for i := 0; i < boot; i++ {
+		go g.prewarmOne(fn)
+	}
+	stopAll(retire)
+}
+
+// prewarmOne boots one instance ahead of demand and pools it — unless
+// the gateway stopped or the warm cap filled while it was booting.
+func (g *Gateway) prewarmOne(fn Function) {
+	defer g.wg.Done()
+	inst, err := startInstance(fn)
+	g.mu.Lock()
+	st := g.fnCtlLocked(fn.Name)
+	if st.booting > 0 {
+		st.booting--
+	}
+	if err != nil {
+		g.mu.Unlock()
+		return
+	}
+	overCap := g.ctl.MaxWarm > 0 && len(g.idle[fn.Name]) >= g.ctl.MaxWarm
+	if g.stopped || overCap {
+		g.mu.Unlock()
+		inst.stop()
+		return
+	}
+	inst.idleSince = g.nowFn()
+	g.idle[fn.Name] = append(g.idle[fn.Name], inst)
+	g.stats.Prewarmed++
+	if g.obs != nil {
+		g.obs.ctlPrewarm.Inc()
+	}
+	g.syncWarmGaugeLocked(fn.Name)
+	g.mu.Unlock()
+}
+
+// runJanitor periodically expires idle instances past the keep-alive.
+func (g *Gateway) runJanitor() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.ctl.JanitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.ctlStop:
+			return
+		case <-ticker.C:
+			g.janitorOnce(g.nowFn())
+		}
+	}
+}
+
+// janitorOnce enforces the keep-alive and the warm cap once, oldest
+// first; expired instances are stopped outside the lock, concurrently.
+// Tests call it with deterministic now values. A stopped gateway is
+// left alone: Stop already owns teardown, and racing it could
+// double-stop or resurrect state.
+func (g *Gateway) janitorOnce(now time.Time) {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	var doomed []*instance
+	for name, list := range g.idle {
+		keep := make([]*instance, 0, len(list))
+		expired := 0
+		for _, inst := range list {
+			if g.ctl.KeepAlive > 0 && now.Sub(inst.idleSince) >= g.ctl.KeepAlive {
+				doomed = append(doomed, inst)
+				expired++
+				continue
+			}
+			keep = append(keep, inst)
+		}
+		g.stats.Expired += expired
+		// Cap backstop (release-time eviction normally keeps this
+		// invariant): drop the oldest beyond the limit.
+		if g.ctl.MaxWarm > 0 && len(keep) > g.ctl.MaxWarm {
+			drop := len(keep) - g.ctl.MaxWarm
+			doomed = append(doomed, keep[:drop]...)
+			keep = keep[drop:]
+			g.stats.Retired += drop
+		}
+		g.idle[name] = keep
+		g.syncWarmGaugeLocked(name)
+	}
+	if g.obs != nil && len(doomed) > 0 {
+		g.obs.poolRetired.Add(float64(len(doomed)))
+	}
+	g.mu.Unlock()
+	stopAll(doomed)
+}
+
+// PredictionTrace is one function's live controller trace: the
+// predictor identity, its latest forecast, and the bounded
+// one-step-ahead evaluation series (observed demand vs the forecast
+// made for that interval).
+type PredictionTrace struct {
+	Predictor string    `json:"predictor"`
+	Forecast  float64   `json:"forecast"`
+	Ticks     int       `json:"ticks"`
+	Observed  []float64 `json:"observed"`
+	Predicted []float64 `json:"predicted"`
+}
+
+// PredictionTraces snapshots the controller state of every function
+// under prediction.
+func (g *Gateway) PredictionTraces() map[string]PredictionTrace {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]PredictionTrace)
+	for name, st := range g.fnCtl {
+		if st.pred == nil {
+			continue
+		}
+		out[name] = PredictionTrace{
+			Predictor: st.pred.Name(),
+			Forecast:  st.forecast,
+			Ticks:     st.ticks,
+			Observed:  append([]float64(nil), st.observed...),
+			Predicted: append([]float64(nil), st.predicted...),
+		}
+	}
+	return out
+}
+
+// Forecasts reports each predicted function's latest demand forecast.
+func (g *Gateway) Forecasts() map[string]float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]float64)
+	for name, st := range g.fnCtl {
+		if st.pred != nil {
+			out[name] = st.forecast
+		}
+	}
+	return out
+}
+
+// appendBounded appends keeping at most ctlTraceCap trailing elements.
+func appendBounded(s []float64, v float64) []float64 {
+	s = append(s, v)
+	if len(s) > ctlTraceCap {
+		s = append(s[:0:0], s[len(s)-ctlTraceCap:]...)
+	}
+	return s
+}

@@ -11,18 +11,31 @@ import (
 	"time"
 
 	"hotc/internal/obs"
+	"hotc/internal/predictor"
 )
 
 // PoolConfig tunes the daemon gateway's warm-instance management,
 // mirroring the simulated pool's knobs on the real-socket path.
 type PoolConfig struct {
-	// IdleTTL stops instances idle longer than this (0 = keep forever).
+	// IdleTTL stops instances idle longer than this (0 = keep forever)
+	// — the keep-alive enforced by the gateway's janitor.
 	IdleTTL time.Duration
-	// MaxIdlePerFunction caps warm instances per function (0 = no cap).
+	// MaxIdlePerFunction caps warm instances per function (0 = no
+	// cap), enforced continuously with oldest-first eviction.
 	MaxIdlePerFunction int
-	// ReapInterval is how often the reaper scans (default 1s when a
-	// TTL is set).
+	// ReapInterval is how often the janitor scans (default 1s).
 	ReapInterval time.Duration
+	// ControlInterval is the adaptive controller's period (default 2s
+	// when a predictor is set).
+	ControlInterval time.Duration
+	// NewPredictor arms adaptive live-container control: each function
+	// gets its own demand predictor and a controller goroutine that
+	// prewarms or retires warm instances towards the forecast. nil
+	// disables prediction. Use PredictorFactory to resolve names.
+	NewPredictor func() predictor.Predictor
+	// Headroom is added to every forecast before provisioning, as a
+	// fraction (0.1 = +10%). Default 0.
+	Headroom float64
 	// BreakerThreshold arms the per-function circuit breaker: after
 	// this many consecutive boot/proxy failures requests fast-fail with
 	// 503 until the open window elapses. 0 disables breaking.
@@ -37,14 +50,16 @@ type PoolConfig struct {
 }
 
 // Daemon is the long-running HotC gateway server: the live gateway
-// plus idle-instance reaping and an HTTP management API.
+// plus adaptive control, idle-instance expiry and an HTTP management
+// API.
 //
 // Routes:
 //
 //	POST /function/{name}          invoke a function
 //	GET  /system/functions         list deployed functions
 //	POST /system/functions         deploy {"name","handler","coldStartMs"}
-//	GET  /system/stats             gateway counters and warm pool sizes
+//	GET  /system/stats             gateway counters, warm pool sizes, forecasts
+//	GET  /system/predictions       per-function controller prediction traces
 //
 // Handlers are chosen from a built-in registry by name (this is a
 // demonstration daemon; it does not execute arbitrary code).
@@ -55,8 +70,6 @@ type Daemon struct {
 
 	mu       sync.Mutex
 	deployed []string
-	stopCh   chan struct{}
-	wg       sync.WaitGroup
 }
 
 // Builtin handler names deployable through the API.
@@ -85,19 +98,23 @@ func builtinHandler(name string) (Handler, error) {
 	}
 }
 
-// NewDaemon wraps a reusing gateway with pool management, a metrics
-// registry and (optionally) a circuit breaker.
+// NewDaemon wraps a reusing gateway with adaptive control, pool
+// management, a metrics registry and (optionally) a circuit breaker.
 func NewDaemon(cfg PoolConfig) *Daemon {
-	if cfg.ReapInterval <= 0 {
-		cfg.ReapInterval = time.Second
-	}
 	d := &Daemon{
-		gw:     NewGateway(true),
-		cfg:    cfg,
-		reg:    obs.New(),
-		stopCh: make(chan struct{}),
+		gw:  NewGateway(true),
+		cfg: cfg,
+		reg: obs.New(),
 	}
 	d.gw.Instrument(d.reg)
+	d.gw.EnableControl(ControlConfig{
+		Interval:        cfg.ControlInterval,
+		NewPredictor:    cfg.NewPredictor,
+		Headroom:        cfg.Headroom,
+		KeepAlive:       cfg.IdleTTL,
+		MaxWarm:         cfg.MaxIdlePerFunction,
+		JanitorInterval: cfg.ReapInterval,
+	})
 	if cfg.BreakerThreshold > 0 {
 		d.gw.EnableBreaker(cfg.BreakerThreshold, cfg.BreakerOpenFor)
 	}
@@ -141,26 +158,20 @@ func (d *Daemon) Deploy(spec DeploySpec) error {
 }
 
 // Start binds the daemon to a random loopback port and begins the
-// reaper. It returns the base URL.
+// control loops. It returns the base URL.
 func (d *Daemon) Start() (string, error) {
 	return d.StartOn("127.0.0.1:0")
 }
 
-// StartOn binds the daemon to an explicit address.
+// StartOn binds the daemon to an explicit address. The gateway's
+// janitor and per-function controllers launch with it.
 func (d *Daemon) StartOn(addr string) (string, error) {
-	base, err := d.gw.startOn(addr, d.routes())
-	if err != nil {
-		return "", err
-	}
-	d.wg.Add(1)
-	go d.reaper()
-	return base, nil
+	return d.gw.startOn(addr, d.routes())
 }
 
-// Stop shuts down the HTTP server, the reaper and all warm instances.
+// Stop shuts down the HTTP server, the control loops and all warm
+// instances.
 func (d *Daemon) Stop() {
-	close(d.stopCh)
-	d.wg.Wait()
 	d.gw.Stop()
 }
 
@@ -203,14 +214,19 @@ func (d *Daemon) routes() *http.ServeMux {
 		for _, n := range names {
 			warm[n] = d.gw.WarmInstances(n)
 		}
-		// resilience and warmAges share their source of truth with the
-		// /metrics endpoint (the same gateway counters and idle lists).
+		// resilience, warmAges and forecast share their source of truth
+		// with the /metrics endpoint (the same gateway counters, idle
+		// lists and controller state).
 		writeJSON(w, struct {
 			Stats      Stats                `json:"stats"`
 			Warm       map[string]int       `json:"warmInstances"`
+			Forecast   map[string]float64   `json:"forecast"`
 			Resilience map[string]int       `json:"resilience"`
 			WarmAges   map[string][]float64 `json:"warmAgeSeconds"`
-		}{d.gw.Stats(), warm, d.gw.ResilienceCounters(), d.gw.WarmAges(time.Now())})
+		}{d.gw.Stats(), warm, d.gw.Forecasts(), d.gw.ResilienceCounters(), d.gw.WarmAges(time.Now())})
+	})
+	mux.HandleFunc("/system/predictions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.gw.PredictionTraces())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -233,46 +249,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// reaper periodically enforces IdleTTL and MaxIdlePerFunction against
-// the gateway's warm pool.
-func (d *Daemon) reaper() {
-	defer d.wg.Done()
-	ticker := time.NewTicker(d.cfg.ReapInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-d.stopCh:
-			return
-		case <-ticker.C:
-			d.reapOnce(time.Now())
-		}
-	}
-}
-
-// reapOnce applies the pool policy once; tests call it with
-// deterministic now values.
+// reapOnce applies the keep-alive and cap policy once; tests call it
+// with deterministic now values. The periodic scan is the gateway's
+// janitor goroutine.
 func (d *Daemon) reapOnce(now time.Time) {
-	d.gw.mu.Lock()
-	defer d.gw.mu.Unlock()
-	for name, list := range d.gw.idle {
-		keep := make([]*instance, 0, len(list))
-		for _, inst := range list {
-			if d.cfg.IdleTTL > 0 && now.Sub(inst.idleSince) >= d.cfg.IdleTTL {
-				go inst.stop()
-				continue
-			}
-			keep = append(keep, inst)
-		}
-		// Cap: drop the oldest idle instances beyond the limit (the
-		// gateway reuses from the tail, so the head is oldest).
-		if d.cfg.MaxIdlePerFunction > 0 && len(keep) > d.cfg.MaxIdlePerFunction {
-			drop := len(keep) - d.cfg.MaxIdlePerFunction
-			for _, inst := range keep[:drop] {
-				go inst.stop()
-			}
-			keep = keep[drop:]
-		}
-		d.gw.idle[name] = keep
-		d.gw.syncWarmGaugeLocked(name)
-	}
+	d.gw.janitorOnce(now)
 }

@@ -154,12 +154,16 @@ func TestReaperTTLExpiry(t *testing.T) {
 	}
 }
 
-func TestReaperIdleCap(t *testing.T) {
+func TestWarmCapEnforcedContinuously(t *testing.T) {
+	// The cap holds at every instant, not just at janitor ticks:
+	// release evicts the oldest idle instance instead of growing past
+	// the limit.
 	d, base := startDaemon(t, PoolConfig{MaxIdlePerFunction: 2, ReapInterval: time.Hour})
 	if err := d.Deploy(DeploySpec{Name: "s", Handler: "echo"}); err != nil {
 		t.Fatal(err)
 	}
-	// Build up 4 warm instances via concurrent requests.
+	// Four concurrent requests run on four distinct instances; as each
+	// finishes, the pool admits it but never exceeds the cap.
 	done := make(chan struct{}, 4)
 	for i := 0; i < 4; i++ {
 		go func() {
@@ -173,13 +177,170 @@ func TestReaperIdleCap(t *testing.T) {
 	}
 	for i := 0; i < 4; i++ {
 		<-done
+		if got := d.WarmInstances("s"); got > 2 {
+			t.Fatalf("warm pool %d exceeds cap 2", got)
+		}
 	}
-	if got := d.WarmInstances("s"); got != 4 {
-		t.Fatalf("warm before reap = %d", got)
+	if got := d.WarmInstances("s"); got != 2 {
+		t.Fatalf("warm after all releases = %d, want 2", got)
 	}
+	if st := d.Stats(); st.Retired != 2 {
+		t.Fatalf("Retired = %d, want 2 oldest-first cap evictions", st.Retired)
+	}
+	// The janitor's cap backstop finds nothing left to do.
 	d.reapOnce(time.Now())
 	if got := d.WarmInstances("s"); got != 2 {
-		t.Fatalf("warm after cap reap = %d, want 2", got)
+		t.Fatalf("warm after reap = %d, want 2", got)
+	}
+}
+
+// End-to-end adaptive control through the daemon: real controller
+// goroutines tick, the prediction trace endpoint reports them, and
+// /system/stats carries the forecast.
+func TestDaemonAdaptiveControlEndToEnd(t *testing.T) {
+	newPred, err := PredictorFactory("es+markov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, base := startDaemon(t, PoolConfig{
+		ControlInterval: 20 * time.Millisecond,
+		NewPredictor:    newPred,
+		IdleTTL:         time.Hour,
+		ReapInterval:    time.Hour,
+	})
+	if err := d.Deploy(DeploySpec{Name: "echo", Handler: "echo"}); err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, base+"/function/echo", "x")
+
+	// Wait for a few controller ticks to land.
+	var trace PredictionTrace
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/system/predictions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var traces map[string]PredictionTrace
+		err = json.NewDecoder(resp.Body).Decode(&traces)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr, ok := traces["echo"]; ok && tr.Ticks >= 2 {
+			trace = tr
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no controller ticks observed: %+v", traces)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if trace.Predictor != "hotc(es+markov)" {
+		t.Fatalf("predictor = %q", trace.Predictor)
+	}
+	if len(trace.Observed) != trace.Ticks || len(trace.Predicted) != trace.Ticks {
+		t.Fatalf("trace series lengths %d/%d do not match ticks %d",
+			len(trace.Observed), len(trace.Predicted), trace.Ticks)
+	}
+
+	// /system/stats exposes the same forecast.
+	resp, err := http.Get(base + "/system/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Forecast map[string]float64 `json:"forecast"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Forecast["echo"]; !ok {
+		t.Fatalf("stats missing forecast: %v", got.Forecast)
+	}
+
+	// And /metrics carries the controller families under the same
+	// names the simulated substrate emits.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"hotc_ctl_ticks_total",
+		`hotc_ctl_demand{key="echo"}`,
+		`hotc_ctl_forecast{key="echo"}`,
+		`hotc_ctl_target{key="echo"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", text)
+	}
+}
+
+// A function deployed after the daemon started joins the control loop.
+func TestDaemonLateDeployJoinsController(t *testing.T) {
+	newPred, err := PredictorFactory("es")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, base := startDaemon(t, PoolConfig{
+		ControlInterval: 20 * time.Millisecond,
+		NewPredictor:    newPred,
+	})
+	// Deployed over HTTP, strictly after Start.
+	resp := postJSON(t, base+"/system/functions", `{"name":"late","handler":"upper"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("deploy status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, err := http.Get(base + "/system/predictions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var traces map[string]PredictionTrace
+		err = json.NewDecoder(r.Body).Decode(&traces)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr, ok := traces["late"]; ok && tr.Ticks >= 1 {
+			if tr.Predictor != "es(α=0.80)" {
+				t.Fatalf("predictor = %q", tr.Predictor)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("late-deployed function never ticked: %+v", traces)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPredictorFactory(t *testing.T) {
+	for _, name := range []string{"es", "markov", "es+markov"} {
+		f, err := PredictorFactory(name)
+		if err != nil || f == nil {
+			t.Errorf("PredictorFactory(%q): factory nil=%v, err=%v", name, f == nil, err)
+		} else if f() == nil {
+			t.Errorf("PredictorFactory(%q) built a nil predictor", name)
+		}
+	}
+	for _, name := range []string{"", "off"} {
+		f, err := PredictorFactory(name)
+		if err != nil || f != nil {
+			t.Errorf("PredictorFactory(%q): factory nil=%v, err=%v, want nil, nil", name, f == nil, err)
+		}
+	}
+	if _, err := PredictorFactory("oracle"); err == nil {
+		t.Fatal("unknown predictor accepted")
 	}
 }
 

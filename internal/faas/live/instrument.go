@@ -17,6 +17,16 @@ type instruments struct {
 	warm         *obs.GaugeVec     // hotc_live_warm_instances{function}
 	events       *obs.CounterVec   // hotc_resilience_events_total{kind}
 	breakerState *obs.GaugeVec     // hotc_breaker_state{key}
+
+	// Controller families share the simulated control loop's names
+	// (core.HotC.Instrument), so dashboards read either substrate.
+	ctlDemand   *obs.GaugeVec // hotc_ctl_demand{key}
+	ctlForecast *obs.GaugeVec // hotc_ctl_forecast{key}
+	ctlTarget   *obs.GaugeVec // hotc_ctl_target{key}
+	ctlPrewarm  *obs.Counter  // hotc_ctl_prewarm_total
+	ctlRetire   *obs.Counter  // hotc_ctl_retire_total
+	ctlTicks    *obs.Counter  // hotc_ctl_ticks_total
+	poolRetired *obs.Counter  // hotc_pool_retired_total
 }
 
 // Instrument registers the gateway's metric families on the registry.
@@ -49,6 +59,23 @@ func (g *Gateway) Instrument(reg *obs.Registry) {
 		breakerState: reg.GaugeVec("hotc_breaker_state",
 			"Per-function circuit breaker state (0 closed, 1 open, 2 half-open).",
 			"key"),
+		ctlDemand: reg.GaugeVec("hotc_ctl_demand",
+			"Observed peak concurrent demand per runtime key in the last control interval.",
+			"key"),
+		ctlForecast: reg.GaugeVec("hotc_ctl_forecast",
+			"Demand forecast per runtime key for the next control interval.",
+			"key"),
+		ctlTarget: reg.GaugeVec("hotc_ctl_target",
+			"Pool size target per runtime key after headroom, floors and hysteresis.",
+			"key"),
+		ctlPrewarm: reg.Counter("hotc_ctl_prewarm_total",
+			"Containers the control loop asked the pool to pre-warm."),
+		ctlRetire: reg.Counter("hotc_ctl_retire_total",
+			"Containers the control loop retired on scale-down."),
+		ctlTicks: reg.Counter("hotc_ctl_ticks_total",
+			"Control loop ticks executed."),
+		poolRetired: reg.Counter("hotc_pool_retired_total",
+			"Containers stopped by scale-down, cap eviction or keep-alive expiry."),
 	}
 }
 

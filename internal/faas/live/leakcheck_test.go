@@ -1,0 +1,53 @@
+package live
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestMain adds an opt-in goroutine-leak pass over the whole package:
+// with HOTC_LEAKCHECK set (scripts/verify.sh does), the process fails
+// if the goroutine count has not returned to near the pre-test
+// baseline once every gateway is stopped. Leaked watchdog
+// http.Servers — the release-after-Stop class of bug — hold their
+// Serve goroutine forever and trip this.
+func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 && os.Getenv("HOTC_LEAKCHECK") != "" {
+		code = leakCheck(baseline)
+	}
+	os.Exit(code)
+}
+
+func leakCheck(baseline int) int {
+	// Idle keep-alive connections in the shared transport pin their
+	// read loops; they are pool bookkeeping, not leaks.
+	closeIdle := func() {
+		if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+			tr.CloseIdleConnections()
+		}
+	}
+	const slack = 4
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		closeIdle()
+		if runtime.NumGoroutine() <= baseline+slack {
+			return 0
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	fmt.Fprintf(os.Stderr,
+		"leakcheck: %d goroutines alive after all tests (baseline %d, slack %d):\n%s\n",
+		runtime.NumGoroutine(), baseline, slack, buf[:n])
+	return 1
+}

@@ -10,9 +10,16 @@
 // application init); with reuse enabled the gateway keeps finished
 // instances warm in a pool, HotC-style, and skips that delay.
 //
-// This package exists so the examples can demonstrate the middleware
-// against a real network stack; the figure benchmarks use the
-// deterministic simulated pipeline in the parent package.
+// With EnableControl the gateway also runs the paper's adaptive
+// live-container control (Algorithm 3) against the real pool: a
+// per-function controller samples demand each interval, forecasts the
+// next one with the ES+Markov predictor, and prewarms or retires warm
+// instances to meet it — see controller.go.
+//
+// This package exists so the examples and the hotcd daemon can
+// demonstrate the middleware against a real network stack; the figure
+// benchmarks use the deterministic simulated pipeline in the parent
+// package.
 package live
 
 import (
@@ -50,7 +57,7 @@ type instance struct {
 	addr   string
 	lis    net.Listener
 	// idleSince is when the instance last returned to the warm pool
-	// (set under the gateway lock; read by the daemon's reaper).
+	// (set under the gateway lock; read by the janitor).
 	idleSince time.Time
 }
 
@@ -88,11 +95,33 @@ func (i *instance) stop() {
 	i.server.Shutdown(ctx)
 }
 
+// stopAll shuts instances down concurrently and waits for all of them:
+// each Shutdown can block up to its timeout on active connections, so
+// serial teardown would cost the sum instead of the max.
+func stopAll(insts []*instance) {
+	var wg sync.WaitGroup
+	for _, inst := range insts {
+		wg.Add(1)
+		go func(i *instance) {
+			defer wg.Done()
+			i.stop()
+		}(inst)
+	}
+	wg.Wait()
+}
+
 // Stats counts gateway activity.
 type Stats struct {
 	Requests   int
 	ColdStarts int
 	Reused     int
+	// Prewarmed counts instances the controller booted ahead of demand.
+	Prewarmed int
+	// Retired counts instances stopped by controller scale-down or the
+	// warm-pool cap's oldest-first eviction.
+	Retired int
+	// Expired counts instances stopped by keep-alive (idle TTL) expiry.
+	Expired int
 }
 
 // Gateway proxies /function/<name> requests to watchdog instances.
@@ -100,11 +129,26 @@ type Gateway struct {
 	reuse bool
 	// epoch anchors the breaker's monotonic clock.
 	epoch time.Time
+	// nowFn is the wall clock; tests inject a fake for deterministic
+	// keep-alive and controller timing.
+	nowFn func() time.Time
 
-	mu    sync.Mutex
-	fns   map[string]Function
-	idle  map[string][]*instance
-	stats Stats
+	mu      sync.Mutex
+	fns     map[string]Function
+	idle    map[string][]*instance
+	stats   Stats
+	stopped bool
+
+	// ctl configures adaptive control (see EnableControl); fnCtl holds
+	// the per-function demand/predictor state, ctlRunning reports that
+	// background loops were launched.
+	ctl        ControlConfig
+	fnCtl      map[string]*fnControl
+	ctlRunning bool
+	ctlStop    chan struct{}
+	// wg tracks every background goroutine the gateway owns:
+	// controllers, the janitor, prewarm boots and retire teardowns.
+	wg sync.WaitGroup
 
 	// breakerThreshold/breakerOpenFor arm the per-function circuit
 	// breaker (see EnableBreaker); breakers and res hold its state and
@@ -129,22 +173,34 @@ func NewGateway(reuse bool) *Gateway {
 	return &Gateway{
 		reuse:    reuse,
 		epoch:    time.Now(),
+		nowFn:    time.Now,
 		fns:      make(map[string]Function),
 		idle:     make(map[string][]*instance),
+		fnCtl:    make(map[string]*fnControl),
+		ctlStop:  make(chan struct{}),
 		breakers: make(map[string]*faas.Breaker),
 		res:      make(map[string]int),
 		client:   &http.Client{Timeout: 30 * time.Second},
 	}
 }
 
-// Register deploys a function. It must be called before Start.
+// Register deploys a function. Functions registered after Start join
+// the adaptive control loop immediately.
 func (g *Gateway) Register(fn Function) error {
 	if fn.Name == "" || fn.Handler == nil {
 		return fmt.Errorf("live: function needs a name and a handler")
 	}
 	g.mu.Lock()
-	defer g.mu.Unlock()
+	_, existed := g.fns[fn.Name]
 	g.fns[fn.Name] = fn
+	spawn := !existed && g.ctlRunning && g.ctl.NewPredictor != nil && !g.stopped
+	if spawn {
+		g.wg.Add(1)
+	}
+	g.mu.Unlock()
+	if spawn {
+		go g.runController(fn.Name)
+	}
 	return nil
 }
 
@@ -161,7 +217,8 @@ func (g *Gateway) startWith(mux *http.ServeMux) (string, error) {
 	return g.startOn("127.0.0.1:0", mux)
 }
 
-// startOn binds to an explicit address.
+// startOn binds to an explicit address and launches the control-loop
+// goroutines configured by EnableControl.
 func (g *Gateway) startOn(addr string, mux *http.ServeMux) (string, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -170,24 +227,42 @@ func (g *Gateway) startOn(addr string, mux *http.ServeMux) (string, error) {
 	g.lis = lis
 	g.server = &http.Server{Handler: mux}
 	go g.server.Serve(lis)
+	g.startControlLoops()
 	return "http://" + lis.Addr().String(), nil
 }
 
-// Stop shuts the gateway and all warm instances down.
+// Stop shuts the gateway, the control loops and all warm instances
+// down. It is idempotent. Instances are collected under the lock but
+// stopped outside it, concurrently: holding the gateway mutex across N
+// serial 1s-timeout shutdowns would block every other gateway method
+// for up to N seconds.
 func (g *Gateway) Stop() {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	// Mark stopped before anything else: from here on, release() and
+	// the controller/janitor tear instances down instead of touching
+	// the pool, so an in-flight request finishing after Stop cannot
+	// resurrect an instance into the cleared idle map.
+	g.stopped = true
+	var insts []*instance
+	for name, list := range g.idle {
+		insts = append(insts, list...)
+		delete(g.idle, name)
+		g.syncWarmGaugeLocked(name)
+	}
+	g.mu.Unlock()
+
+	close(g.ctlStop)
 	if g.server != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 		g.server.Shutdown(ctx)
 		cancel()
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for _, list := range g.idle {
-		for _, inst := range list {
-			inst.stop()
-		}
-	}
-	g.idle = make(map[string][]*instance)
+	stopAll(insts)
+	g.wg.Wait()
 }
 
 // Stats returns a snapshot of the counters.
@@ -205,13 +280,19 @@ func (g *Gateway) WarmInstances(name string) int {
 	return len(g.idle[name])
 }
 
-// acquire returns a warm instance or boots a new one.
+// acquire returns a warm instance or boots a new one, tracking
+// in-flight demand for the controller.
 func (g *Gateway) acquire(name string) (*instance, bool, error) {
 	g.mu.Lock()
 	fn, ok := g.fns[name]
 	if !ok {
 		g.mu.Unlock()
 		return nil, false, fmt.Errorf("live: unknown function %q", name)
+	}
+	st := g.fnCtlLocked(name)
+	st.inFlight++
+	if st.inFlight > st.peak {
+		st.peak = st.inFlight
 	}
 	if list := g.idle[name]; len(list) > 0 {
 		inst := list[len(list)-1]
@@ -227,20 +308,63 @@ func (g *Gateway) acquire(name string) (*instance, bool, error) {
 	g.mu.Unlock()
 
 	inst, err := startInstance(fn) // cold boot outside the lock
+	if err != nil {
+		g.decInFlight(name)
+	}
 	return inst, false, err
 }
 
-// release returns the instance to the warm pool or tears it down.
+// decInFlight ends a request's demand accounting.
+func (g *Gateway) decInFlight(name string) {
+	g.mu.Lock()
+	if st := g.fnCtl[name]; st != nil && st.inFlight > 0 {
+		st.inFlight--
+	}
+	g.mu.Unlock()
+}
+
+// release returns the instance to the warm pool, enforcing the warm
+// cap with oldest-first eviction — or tears it down when reuse is off
+// or the gateway already stopped (an in-flight request that outlives
+// Stop must not leak its watchdog into a dead pool).
 func (g *Gateway) release(name string, inst *instance) {
-	if !g.reuse {
+	g.mu.Lock()
+	if st := g.fnCtl[name]; st != nil && st.inFlight > 0 {
+		st.inFlight--
+	}
+	if !g.reuse || g.stopped {
+		g.mu.Unlock()
 		inst.stop()
 		return
 	}
-	g.mu.Lock()
-	inst.idleSince = time.Now()
+	var evict *instance
+	if g.ctl.MaxWarm > 0 && len(g.idle[name]) >= g.ctl.MaxWarm {
+		// The gateway reuses from the tail, so the head is oldest.
+		list := g.idle[name]
+		evict = list[0]
+		g.idle[name] = append(list[:0:0], list[1:]...)
+		g.stats.Retired++
+		if g.obs != nil {
+			g.obs.poolRetired.Inc()
+		}
+	}
+	inst.idleSince = g.nowFn()
 	g.idle[name] = append(g.idle[name], inst)
 	g.syncWarmGaugeLocked(name)
 	g.mu.Unlock()
+	if evict != nil {
+		evict.stop()
+	}
+}
+
+// discard ends a request whose instance is suspect (boot or transport
+// failure): demand accounting is closed and the instance, if any, is
+// torn down rather than re-pooled.
+func (g *Gateway) discard(name string, inst *instance) {
+	g.decInFlight(name)
+	if inst != nil {
+		inst.stop()
+	}
 }
 
 func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
@@ -278,7 +402,7 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	// makes the instance suspect: tear it down rather than re-pool it.
 	resp, err := g.client.Post("http://"+inst.addr+"/", "application/octet-stream", r.Body)
 	if err != nil {
-		inst.stop()
+		g.discard(name, inst)
 		g.breakerFailure(name, "proxy.failures")
 		g.observe(name, "error", start)
 		http.Error(w, err.Error(), http.StatusBadGateway)
@@ -287,7 +411,7 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		inst.stop()
+		g.discard(name, inst)
 		g.breakerFailure(name, "proxy.failures")
 		g.observe(name, "error", start)
 		http.Error(w, err.Error(), http.StatusBadGateway)
@@ -311,7 +435,15 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	}
 	g.mu.Unlock()
 	g.observe(name, outcome, start)
-	w.Header().Set("X-Hotc-Reused", fmt.Sprintf("%v", reused))
+	// Forward the watchdog's response headers (Content-Type etc.)
+	// before committing the status line, then the gateway's own.
+	hdr := w.Header()
+	for k, vv := range resp.Header {
+		for _, v := range vv {
+			hdr.Add(k, v)
+		}
+	}
+	hdr.Set("X-Hotc-Reused", fmt.Sprintf("%v", reused))
 	w.WriteHeader(resp.StatusCode)
 	w.Write(body)
 }

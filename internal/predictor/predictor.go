@@ -210,13 +210,7 @@ func (m *Markov) Predict() float64 {
 	}
 	p := m.TransitionMatrix(1)
 	cur := m.stateOf(m.obs[n-1])
-	best, bestP := cur, -1.0
-	for j, pj := range p[cur] {
-		if pj > bestP {
-			best, bestP = j, pj
-		}
-	}
-	return m.midpoint(best)
+	return m.midpoint(argmaxFrom(p[cur], cur))
 }
 
 // PredictK forecasts k steps ahead using the k-step transition matrix
@@ -232,13 +226,22 @@ func (m *Markov) PredictK(k int) float64 {
 	}
 	p := m.TransitionMatrix(k)
 	cur := m.stateOf(m.obs[n-1])
-	best, bestP := cur, -1.0
-	for j, pj := range p[cur] {
+	return m.midpoint(argmaxFrom(p[cur], cur))
+}
+
+// argmaxFrom returns the index of the largest element of row, breaking
+// ties toward seed: starting the scan with best=seed at its actual
+// probability means a row with no dominant transition (e.g. a uniform
+// never-visited state) forecasts staying put instead of collapsing to
+// the minimum-demand region at index 0.
+func argmaxFrom(row []float64, seed int) int {
+	best, bestP := seed, row[seed]
+	for j, pj := range row {
 		if pj > bestP {
 			best, bestP = j, pj
 		}
 	}
-	return m.midpoint(best)
+	return best
 }
 
 // PredictExpected forecasts the next value as the probability-weighted

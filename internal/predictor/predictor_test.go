@@ -157,6 +157,31 @@ func TestMarkovAlternatingSeries(t *testing.T) {
 	}
 }
 
+// Regression: a constant series followed by a step lands the chain in
+// a region state it has never left before — a no-data (uniform) row.
+// Arg-max ties must break toward the *current* state, so the forecast
+// stays at the new level; the old code broke ties toward state index 0
+// and forecast the minimum region midpoint, systematically
+// under-provisioning right after every demand jump.
+func TestMarkovTieBreaksTowardCurrentState(t *testing.T) {
+	m := NewMarkov(8)
+	for i := 0; i < 5; i++ {
+		m.Observe(10)
+	}
+	m.Observe(100) // step into a state with no observed successors
+
+	// The current state's region is the top interval [~88.75, 100]; the
+	// forecast must stay in it, not collapse to the bottom region.
+	if got := m.Predict(); got < 80 {
+		t.Fatalf("after step to 100, Predict = %v, want the current (high) region midpoint", got)
+	}
+
+	// Same discipline k steps ahead.
+	if got := m.PredictK(2); got < 80 {
+		t.Fatalf("after step to 100, PredictK(2) = %v, want the current (high) region midpoint", got)
+	}
+}
+
 func TestMarkovTransitionMatrixRowStochastic(t *testing.T) {
 	src := rng.New(5)
 	m := NewMarkov(6)

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Demo: drive a bursty load against a live hotcd and watch the warm
+# pool track demand. Starts its own daemon on a scratch port with a
+# fast control interval, fires bursts of concurrent invocations with
+# quiet gaps between them, and samples /system/stats after each phase:
+# warm count should rise toward the burst's concurrency, never exceed
+# -max-warm, and drain back down across the quiet periods.
+#
+# Usage: scripts/hotcd-burst.sh [addr] [burst-size] [rounds]
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR="${1:-127.0.0.1:8931}"
+BURST="${2:-6}"
+ROUNDS="${3:-4}"
+MAXWARM=4
+BASE="http://$ADDR"
+
+go build -o /tmp/hotcd ./cmd/hotcd
+/tmp/hotcd -addr "$ADDR" -predictor es+markov -control-interval 500ms \
+	-keepalive 30s -max-warm "$MAXWARM" -reap-interval 250ms &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT INT TERM
+
+for i in $(seq 1 50); do
+	curl -fsS "$BASE/system/stats" >/dev/null 2>&1 && break
+	sleep 0.1
+done
+
+sample() {
+	curl -fsS "$BASE/system/stats" |
+		sed -n 's/.*"warmInstances":\({[^}]*}\).*/warm=\1/p'
+	curl -fsS "$BASE/system/stats" |
+		sed -n 's/.*"forecast":\({[^}]*}\).*/forecast=\1/p'
+}
+
+echo "== bursty load: $ROUNDS rounds of $BURST concurrent invocations (max-warm $MAXWARM)"
+for r in $(seq 1 "$ROUNDS"); do
+	echo "-- round $r: burst"
+	for i in $(seq 1 "$BURST"); do
+		curl -fsS -XPOST "$BASE/function/echo" -d "burst-$r-$i" >/dev/null &
+	done
+	wait_jobs=$(jobs -p | grep -v "^$PID$" || true)
+	[ -n "$wait_jobs" ] && wait $wait_jobs || true
+	sleep 1.2 # let the controller observe the burst and provision
+	sample
+done
+
+echo "-- quiet period: controller should retire the pool with hysteresis"
+for i in 1 2 3 4; do
+	sleep 1.5
+	sample
+done
+
+echo "-- prediction traces"
+curl -fsS "$BASE/system/predictions"
+echo
+echo "== done"

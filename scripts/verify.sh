@@ -9,6 +9,8 @@ echo "== go vet"
 go vet ./...
 echo "== go test -race"
 go test -race ./...
+echo "== goroutine-leak check (live gateway)"
+HOTC_LEAKCHECK=1 go test -race -count=1 ./internal/faas/live/
 echo "== metric-name lint"
 ./scripts/lint-metrics.sh
 echo "verify: OK"
