@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench lint-metrics
+.PHONY: build test verify bench bench-contention lint-metrics
 
 build:
 	$(GO) build ./...
@@ -17,3 +17,8 @@ lint-metrics:
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/
+
+# Hot-path contention suite: gateway sharding + obs fast path, results
+# written to BENCH_contention.json.
+bench-contention:
+	./scripts/bench-contention.sh

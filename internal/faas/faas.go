@@ -388,7 +388,7 @@ func (g *Gateway) handleAdmitted(fn Function, req trace.Request, ts Timestamps, 
 	// gap back to ts.GatewayIn is pure queue wait.
 	admitAt := g.sched.Now()
 	if g.obs != nil {
-		g.obs.queueWait.With(name).ObserveDuration(admitAt - ts.GatewayIn)
+		g.obs.forFunction(name).queueWait.ObserveDuration(admitAt - ts.GatewayIn)
 	}
 
 	var faults []trace.FaultEvent

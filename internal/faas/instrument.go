@@ -1,6 +1,7 @@
 package faas
 
 import (
+	"sync"
 	"time"
 
 	"hotc/internal/obs"
@@ -8,8 +9,25 @@ import (
 	"hotc/internal/trace"
 )
 
+// fnHandles holds the pre-resolved per-function series so the request
+// path records metrics without label joins or vec lookups.
+type fnHandles struct {
+	reqOK     *obs.Counter
+	reqErr    *obs.Counter
+	latency   *obs.Histogram
+	queueWait *obs.Histogram
+}
+
+// keyHandles holds the pre-resolved per-runtime-key series.
+type keyHandles struct {
+	acquire      *obs.Histogram
+	breakerState *obs.Gauge
+}
+
 // instruments bundles the gateway's metric families. nil (the default)
-// means uninstrumented — the hot path pays only a nil check.
+// means uninstrumented — the hot path pays only a nil check. Handles
+// for label combinations seen in traffic are resolved once and cached,
+// so steady-state recording is vec-lookup free.
 type instruments struct {
 	requests     *obs.CounterVec   // hotc_requests_total{function, outcome}
 	starts       *obs.CounterVec   // hotc_starts_total{mode}
@@ -18,6 +36,58 @@ type instruments struct {
 	acquire      *obs.HistogramVec // hotc_acquire_latency_ms{key}
 	events       *obs.CounterVec   // hotc_resilience_events_total{kind}
 	breakerState *obs.GaugeVec     // hotc_breaker_state{key}
+
+	startsWarm *obs.Counter // hotc_starts_total{mode="warm"}
+	startsCold *obs.Counter // hotc_starts_total{mode="cold"}
+
+	mu   sync.RWMutex
+	fns  map[string]*fnHandles
+	keys map[string]*keyHandles
+}
+
+// forFunction returns the cached handles for one function, resolving
+// them on first sight.
+func (ins *instruments) forFunction(name string) *fnHandles {
+	ins.mu.RLock()
+	h := ins.fns[name]
+	ins.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	if h := ins.fns[name]; h != nil {
+		return h
+	}
+	h = &fnHandles{
+		reqOK:     ins.requests.With(name, "ok"),
+		reqErr:    ins.requests.With(name, "error"),
+		latency:   ins.latency.With(name),
+		queueWait: ins.queueWait.With(name),
+	}
+	ins.fns[name] = h
+	return h
+}
+
+// forKey returns the cached handles for one runtime key.
+func (ins *instruments) forKey(key string) *keyHandles {
+	ins.mu.RLock()
+	h := ins.keys[key]
+	ins.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	if h := ins.keys[key]; h != nil {
+		return h
+	}
+	h = &keyHandles{
+		acquire:      ins.acquire.With(key),
+		breakerState: ins.breakerState.With(key),
+	}
+	ins.keys[key] = h
+	return h
 }
 
 // Instrument registers the gateway's metric families on the registry
@@ -28,7 +98,7 @@ func (g *Gateway) Instrument(reg *obs.Registry) {
 		g.obs = nil
 		return
 	}
-	g.obs = &instruments{
+	ins := &instruments{
 		requests: reg.CounterVec("hotc_requests_total",
 			"Requests handled by the gateway, by function and outcome (ok|error).",
 			"function", "outcome"),
@@ -50,7 +120,12 @@ func (g *Gateway) Instrument(reg *obs.Registry) {
 		breakerState: reg.GaugeVec("hotc_breaker_state",
 			"Per-runtime-key circuit breaker state (0 closed, 1 open, 2 half-open).",
 			"key"),
+		fns:  make(map[string]*fnHandles),
+		keys: make(map[string]*keyHandles),
 	}
+	ins.startsWarm = ins.starts.With("warm")
+	ins.startsCold = ins.starts.With("cold")
+	g.obs = ins
 }
 
 // Trace attaches a span tracer: every completed request (success or
@@ -62,7 +137,7 @@ func (g *Gateway) setBreakerGauge(key string, brk *Breaker) {
 	if g.obs == nil || brk == nil {
 		return
 	}
-	g.obs.breakerState.With(key).Set(float64(brk.State(g.sched.Now())))
+	g.obs.forKey(key).breakerState.Set(float64(brk.State(g.sched.Now())))
 }
 
 // record emits the per-request metrics and span once the outcome is
@@ -71,20 +146,19 @@ func (g *Gateway) setBreakerGauge(key string, brk *Breaker) {
 func (g *Gateway) record(req trace.Request, name, key string, ts Timestamps,
 	reused bool, err error, faults []trace.FaultEvent, admitAt simclock.Time) {
 	if g.obs != nil {
-		outcome := "ok"
+		h := g.obs.forFunction(name)
 		if err != nil {
-			outcome = "error"
-		}
-		g.obs.requests.With(name, outcome).Inc()
-		if err == nil {
-			mode := "cold"
+			h.reqErr.Inc()
+		} else {
+			h.reqOK.Inc()
 			if reused {
-				mode = "warm"
+				g.obs.startsWarm.Inc()
+			} else {
+				g.obs.startsCold.Inc()
 			}
-			g.obs.starts.With(mode).Inc()
-			g.obs.latency.With(name).ObserveDuration(ts.Total())
+			h.latency.ObserveDuration(ts.Total())
 			if ts.WatchdogIn > 0 {
-				g.obs.acquire.With(key).ObserveDuration(ts.WatchdogIn - admitAt)
+				g.obs.forKey(key).acquire.ObserveDuration(ts.WatchdogIn - admitAt)
 			}
 		}
 	}

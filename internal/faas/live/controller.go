@@ -64,7 +64,8 @@ func PredictorFactory(name string) (func() predictor.Predictor, error) {
 	}
 }
 
-// fnControl is the per-function controller state: live demand
+// fnControl is the per-function controller state, embedded in the
+// function's shard and guarded by the shard mutex: live demand
 // accounting plus the predictor and its one-step-ahead evaluation
 // series (the live substrate's Fig. 10 trace).
 type fnControl struct {
@@ -81,7 +82,8 @@ type fnControl struct {
 }
 
 // EnableControl configures adaptive control. Call before Start; the
-// control loops launch when the gateway starts listening.
+// control loops launch when the gateway starts listening. Functions
+// already registered gain predictors here.
 func (g *Gateway) EnableControl(cfg ControlConfig) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 2 * time.Second
@@ -89,39 +91,34 @@ func (g *Gateway) EnableControl(cfg ControlConfig) {
 	if cfg.JanitorInterval <= 0 {
 		cfg.JanitorInterval = time.Second
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.smu.Lock()
+	defer g.smu.Unlock()
 	g.ctl = cfg
-}
-
-// fnCtlLocked returns (creating if needed) the per-function control
-// state. Caller holds g.mu.
-func (g *Gateway) fnCtlLocked(name string) *fnControl {
-	st := g.fnCtl[name]
-	if st == nil {
-		st = &fnControl{}
-		if g.ctl.NewPredictor != nil {
-			st.pred = g.ctl.NewPredictor()
+	if cfg.NewPredictor != nil {
+		for _, s := range g.shards {
+			s.mu.Lock()
+			if s.ctl.pred == nil {
+				s.ctl.pred = cfg.NewPredictor()
+			}
+			s.mu.Unlock()
 		}
-		g.fnCtl[name] = st
 	}
-	return st
 }
 
 // startControlLoops launches the janitor and one controller goroutine
 // per registered function. Functions registered later spawn theirs in
 // Register.
 func (g *Gateway) startControlLoops() {
-	g.mu.Lock()
-	if g.ctlRunning || g.stopped {
-		g.mu.Unlock()
+	g.smu.Lock()
+	if g.ctlRunning || g.stopped.Load() {
+		g.smu.Unlock()
 		return
 	}
 	g.ctlRunning = true
 	runJanitor := g.ctl.KeepAlive > 0
 	var names []string
 	if g.ctl.NewPredictor != nil {
-		for name := range g.fns {
+		for name := range g.shards {
 			names = append(names, name)
 		}
 	}
@@ -129,7 +126,7 @@ func (g *Gateway) startControlLoops() {
 	if runJanitor {
 		g.wg.Add(1)
 	}
-	g.mu.Unlock()
+	g.smu.Unlock()
 
 	if runJanitor {
 		go g.runJanitor()
@@ -158,22 +155,32 @@ func (g *Gateway) runController(name string) {
 // interval's peak concurrent demand, forecast the next interval, and
 // prewarm or retire warm instances towards the forecast. Tests call it
 // directly with deterministic clocks.
+//
+// The registry read-lock is held across the tick so the stopped check
+// and the wg.Add for prewarm boots are atomic against Stop (which sets
+// stopped under the write lock before waiting); only this function's
+// shard mutex is taken, so ticks never stall other functions.
 func (g *Gateway) controlOnce(name string, now time.Time) {
-	g.mu.Lock()
-	if g.stopped {
-		g.mu.Unlock()
+	g.smu.RLock()
+	if g.stopped.Load() {
+		g.smu.RUnlock()
 		return
 	}
-	fn, known := g.fns[name]
-	if !known {
-		g.mu.Unlock()
+	s := g.shards[name]
+	if s == nil {
+		g.smu.RUnlock()
 		return
 	}
-	st := g.fnCtlLocked(name)
+	ins := g.obs.Load()
+
+	s.mu.Lock()
+	st := &s.ctl
 	if st.pred == nil {
-		g.mu.Unlock()
+		s.mu.Unlock()
+		g.smu.RUnlock()
 		return
 	}
+	fn := s.fn
 
 	demand := float64(st.peak)
 	// One-step-ahead evaluation series: the forecast recorded against
@@ -193,7 +200,7 @@ func (g *Gateway) controlOnce(name string, now time.Time) {
 	if g.ctl.MaxWarm > 0 && target > st.inFlight+g.ctl.MaxWarm {
 		target = st.inFlight + g.ctl.MaxWarm // idle share stays under the cap
 	}
-	live := st.inFlight + st.booting + len(g.idle[name])
+	live := st.inFlight + st.booting + len(s.idle)
 
 	boot := 0
 	var retire []*instance
@@ -201,7 +208,7 @@ func (g *Gateway) controlOnce(name string, now time.Time) {
 	case target > live:
 		boot = target - live
 		if g.ctl.MaxWarm > 0 {
-			if room := g.ctl.MaxWarm - len(g.idle[name]) - st.booting; boot > room {
+			if room := g.ctl.MaxWarm - len(s.idle) - st.booting; boot > room {
 				boot = room
 			}
 		}
@@ -216,64 +223,65 @@ func (g *Gateway) controlOnce(name string, now time.Time) {
 		if cap := int(math.Ceil(float64(live) * liveScaleDownFrac)); excess > cap {
 			excess = cap
 		}
-		list := g.idle[name]
-		if excess > len(list) {
-			excess = len(list)
+		if excess > len(s.idle) {
+			excess = len(s.idle)
 		}
 		if excess > 0 {
-			retire = append(retire, list[:excess]...)
-			g.idle[name] = append(list[:0:0], list[excess:]...)
-			g.stats.Retired += excess
-			g.syncWarmGaugeLocked(name)
+			retire = append(retire, s.idle[:excess]...)
+			s.idle = append(s.idle[:0:0], s.idle[excess:]...)
+			s.stats.Retired += excess
+			s.syncWarmLocked()
 		}
 	}
-	if g.obs != nil {
-		g.obs.ctlTicks.Inc()
-		g.obs.ctlDemand.With(name).Set(demand)
-		g.obs.ctlForecast.With(name).Set(raw)
-		g.obs.ctlTarget.With(name).Set(float64(target))
+	if ins != nil {
+		ins.ctlTicks.Inc()
+		if m := s.m.Load(); m != nil {
+			m.ctlDemand.Set(demand)
+			m.ctlForecast.Set(raw)
+			m.ctlTarget.Set(float64(target))
+		}
 		if len(retire) > 0 {
-			g.obs.ctlRetire.Add(float64(len(retire)))
-			g.obs.poolRetired.Add(float64(len(retire)))
+			ins.ctlRetire.Add(float64(len(retire)))
+			ins.poolRetired.Add(float64(len(retire)))
 		}
 	}
 	g.wg.Add(boot)
-	g.mu.Unlock()
+	s.mu.Unlock()
+	g.smu.RUnlock()
 
 	for i := 0; i < boot; i++ {
-		go g.prewarmOne(fn)
+		go g.prewarmOne(s, fn)
 	}
 	stopAll(retire)
 }
 
 // prewarmOne boots one instance ahead of demand and pools it — unless
 // the gateway stopped or the warm cap filled while it was booting.
-func (g *Gateway) prewarmOne(fn Function) {
+func (g *Gateway) prewarmOne(s *shard, fn Function) {
 	defer g.wg.Done()
 	inst, err := startInstance(fn)
-	g.mu.Lock()
-	st := g.fnCtlLocked(fn.Name)
-	if st.booting > 0 {
-		st.booting--
+	s.mu.Lock()
+	if s.ctl.booting > 0 {
+		s.ctl.booting--
 	}
 	if err != nil {
-		g.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
-	overCap := g.ctl.MaxWarm > 0 && len(g.idle[fn.Name]) >= g.ctl.MaxWarm
-	if g.stopped || overCap {
-		g.mu.Unlock()
+	overCap := g.ctl.MaxWarm > 0 && len(s.idle) >= g.ctl.MaxWarm
+	if g.stopped.Load() || overCap {
+		s.mu.Unlock()
 		inst.stop()
 		return
 	}
 	inst.idleSince = g.nowFn()
-	g.idle[fn.Name] = append(g.idle[fn.Name], inst)
-	g.stats.Prewarmed++
-	if g.obs != nil {
-		g.obs.ctlPrewarm.Inc()
+	s.idle = append(s.idle, inst)
+	s.stats.Prewarmed++
+	if ins := g.obs.Load(); ins != nil {
+		ins.ctlPrewarm.Inc()
 	}
-	g.syncWarmGaugeLocked(fn.Name)
-	g.mu.Unlock()
+	s.syncWarmLocked()
+	s.mu.Unlock()
 }
 
 // runJanitor periodically expires idle instances past the keep-alive.
@@ -292,21 +300,26 @@ func (g *Gateway) runJanitor() {
 }
 
 // janitorOnce enforces the keep-alive and the warm cap once, oldest
-// first; expired instances are stopped outside the lock, concurrently.
+// first; expired instances are stopped outside the locks,
+// concurrently. Shards are scanned one at a time — a function with a
+// huge idle list delays only its own requests, not every function's.
 // Tests call it with deterministic now values. A stopped gateway is
 // left alone: Stop already owns teardown, and racing it could
 // double-stop or resurrect state.
 func (g *Gateway) janitorOnce(now time.Time) {
-	g.mu.Lock()
-	if g.stopped {
-		g.mu.Unlock()
+	if g.stopped.Load() {
 		return
 	}
 	var doomed []*instance
-	for name, list := range g.idle {
-		keep := make([]*instance, 0, len(list))
+	for _, s := range g.snapshotShards() {
+		s.mu.Lock()
+		if g.stopped.Load() {
+			s.mu.Unlock()
+			break
+		}
+		keep := make([]*instance, 0, len(s.idle))
 		expired := 0
-		for _, inst := range list {
+		for _, inst := range s.idle {
 			if g.ctl.KeepAlive > 0 && now.Sub(inst.idleSince) >= g.ctl.KeepAlive {
 				doomed = append(doomed, inst)
 				expired++
@@ -314,23 +327,25 @@ func (g *Gateway) janitorOnce(now time.Time) {
 			}
 			keep = append(keep, inst)
 		}
-		g.stats.Expired += expired
+		s.stats.Expired += expired
 		// Cap backstop (release-time eviction normally keeps this
 		// invariant): drop the oldest beyond the limit.
 		if g.ctl.MaxWarm > 0 && len(keep) > g.ctl.MaxWarm {
 			drop := len(keep) - g.ctl.MaxWarm
 			doomed = append(doomed, keep[:drop]...)
 			keep = keep[drop:]
-			g.stats.Retired += drop
+			s.stats.Retired += drop
 		}
-		g.idle[name] = keep
-		g.syncWarmGaugeLocked(name)
+		s.idle = keep
+		s.syncWarmLocked()
+		s.mu.Unlock()
 	}
-	if g.obs != nil && len(doomed) > 0 {
-		g.obs.poolRetired.Add(float64(len(doomed)))
+	if len(doomed) > 0 {
+		if ins := g.obs.Load(); ins != nil {
+			ins.poolRetired.Add(float64(len(doomed)))
+		}
+		stopAll(doomed)
 	}
-	g.mu.Unlock()
-	stopAll(doomed)
 }
 
 // PredictionTrace is one function's live controller trace: the
@@ -346,35 +361,34 @@ type PredictionTrace struct {
 }
 
 // PredictionTraces snapshots the controller state of every function
-// under prediction.
+// under prediction, one shard at a time.
 func (g *Gateway) PredictionTraces() map[string]PredictionTrace {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	out := make(map[string]PredictionTrace)
-	for name, st := range g.fnCtl {
-		if st.pred == nil {
-			continue
+	for _, s := range g.snapshotShards() {
+		s.mu.Lock()
+		if s.ctl.pred != nil {
+			out[s.name] = PredictionTrace{
+				Predictor: s.ctl.pred.Name(),
+				Forecast:  s.ctl.forecast,
+				Ticks:     s.ctl.ticks,
+				Observed:  append([]float64(nil), s.ctl.observed...),
+				Predicted: append([]float64(nil), s.ctl.predicted...),
+			}
 		}
-		out[name] = PredictionTrace{
-			Predictor: st.pred.Name(),
-			Forecast:  st.forecast,
-			Ticks:     st.ticks,
-			Observed:  append([]float64(nil), st.observed...),
-			Predicted: append([]float64(nil), st.predicted...),
-		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // Forecasts reports each predicted function's latest demand forecast.
 func (g *Gateway) Forecasts() map[string]float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	out := make(map[string]float64)
-	for name, st := range g.fnCtl {
-		if st.pred != nil {
-			out[name] = st.forecast
+	for _, s := range g.snapshotShards() {
+		s.mu.Lock()
+		if s.ctl.pred != nil {
+			out[s.name] = s.ctl.forecast
 		}
+		s.mu.Unlock()
 	}
 	return out
 }

@@ -177,9 +177,10 @@ func TestControllerPrewarmRespectsMaxWarm(t *testing.T) {
 		echoFn("f", 0))
 
 	// Simulate a burst of 5 observed in the closing interval.
-	g.mu.Lock()
-	g.fnCtlLocked("f").peak = 5
-	g.mu.Unlock()
+	s := g.shard("f")
+	s.mu.Lock()
+	s.ctl.peak = 5
+	s.mu.Unlock()
 
 	g.controlOnce("f", clk.Now())
 	waitWarm(t, g, "f", 2)
@@ -200,9 +201,10 @@ func TestStopDuringPrewarmDoesNotLeak(t *testing.T) {
 		ControlConfig{NewPredictor: naiveFactory},
 		echoFn("f", 150*time.Millisecond))
 
-	g.mu.Lock()
-	g.fnCtlLocked("f").peak = 2
-	g.mu.Unlock()
+	s := g.shard("f")
+	s.mu.Lock()
+	s.ctl.peak = 2
+	s.mu.Unlock()
 	g.controlOnce("f", clk.Now()) // schedules 2 boots of 150ms each
 
 	g.Stop() // waits for the boots; they must self-destruct

@@ -365,8 +365,9 @@ func TestBreakerOpensAndRejects(t *testing.T) {
 		t.Fatalf("healthy invoke = %d", resp.StatusCode)
 	}
 	// Feed the breaker consecutive backend failures until it trips.
-	d.gw.breakerFailure("echo", "boot.failures")
-	d.gw.breakerFailure("echo", "boot.failures")
+	echo := d.gw.shard("echo")
+	d.gw.breakerFailure(echo, "boot.failures")
+	d.gw.breakerFailure(echo, "boot.failures")
 
 	resp := postJSON(t, base+"/function/echo", "x")
 	if resp.StatusCode != http.StatusServiceUnavailable {

@@ -8,8 +8,9 @@ import (
 	"hotc/internal/obs"
 )
 
-// instruments bundles the live gateway's metric families. nil (the
-// default) means uninstrumented.
+// instruments bundles the live gateway's metric families plus the
+// pre-resolved handles for the unlabeled (or fixed-label) families the
+// hot path bumps. nil (the default) means uninstrumented.
 type instruments struct {
 	requests     *obs.CounterVec   // hotc_requests_total{function, outcome}
 	starts       *obs.CounterVec   // hotc_starts_total{mode}
@@ -27,20 +28,58 @@ type instruments struct {
 	ctlRetire   *obs.Counter  // hotc_ctl_retire_total
 	ctlTicks    *obs.Counter  // hotc_ctl_ticks_total
 	poolRetired *obs.Counter  // hotc_pool_retired_total
+
+	// startsWarm/startsCold are the two children of starts, resolved
+	// once so the request path pays a single atomic add.
+	startsWarm *obs.Counter
+	startsCold *obs.Counter
 }
 
-// Instrument registers the gateway's metric families on the registry.
-// The families reuse the simulated pipeline's names, so dashboards
-// built against a sim dump read hotcd's /metrics unchanged. Calling
-// with nil turns instrumentation off.
+// shardMetrics is one function's pre-resolved series handles: every
+// label lookup the request path and controller would otherwise pay per
+// observation is done once here, leaving lock-free atomic updates on
+// the hot path.
+type shardMetrics struct {
+	reqOK       *obs.Counter
+	reqError    *obs.Counter
+	reqRejected *obs.Counter
+	latency     *obs.Histogram
+	warm        *obs.Gauge
+	breakerSt   *obs.Gauge
+	ctlDemand   *obs.Gauge
+	ctlForecast *obs.Gauge
+	ctlTarget   *obs.Gauge
+}
+
+// forFunction resolves the per-function handle set.
+func (ins *instruments) forFunction(name string) *shardMetrics {
+	return &shardMetrics{
+		reqOK:       ins.requests.With(name, "ok"),
+		reqError:    ins.requests.With(name, "error"),
+		reqRejected: ins.requests.With(name, "rejected"),
+		latency:     ins.latency.With(name),
+		warm:        ins.warm.With(name),
+		breakerSt:   ins.breakerState.With(name),
+		ctlDemand:   ins.ctlDemand.With(name),
+		ctlForecast: ins.ctlForecast.With(name),
+		ctlTarget:   ins.ctlTarget.With(name),
+	}
+}
+
+// Instrument registers the gateway's metric families on the registry
+// and resolves each existing shard's handle set. The families reuse
+// the simulated pipeline's names, so dashboards built against a sim
+// dump read hotcd's /metrics unchanged. Calling with nil turns
+// instrumentation off.
 func (g *Gateway) Instrument(reg *obs.Registry) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	if reg == nil {
-		g.obs = nil
+		g.obs.Store(nil)
+		for _, s := range g.snapshotShards() {
+			s.m.Store(nil)
+		}
 		return
 	}
-	g.obs = &instruments{
+	ins := &instruments{
 		requests: reg.CounterVec("hotc_requests_total",
 			"Requests handled by the gateway, by function and outcome (ok|error|rejected).",
 			"function", "outcome"),
@@ -77,6 +116,41 @@ func (g *Gateway) Instrument(reg *obs.Registry) {
 		poolRetired: reg.Counter("hotc_pool_retired_total",
 			"Containers stopped by scale-down, cap eviction or keep-alive expiry."),
 	}
+	ins.startsWarm = ins.starts.With("warm")
+	ins.startsCold = ins.starts.With("cold")
+	g.obs.Store(ins)
+	for _, s := range g.snapshotShards() {
+		s.m.Store(ins.forFunction(s.name))
+	}
+}
+
+// observe emits the per-request latency and outcome counters through
+// the shard's cached handles: no locks, no label resolution.
+func (s *shard) observe(outcome string, start time.Time) {
+	m := s.m.Load()
+	if m == nil {
+		return
+	}
+	switch outcome {
+	case "ok":
+		m.reqOK.Inc()
+	case "rejected":
+		m.reqRejected.Inc()
+	default:
+		m.reqError.Inc()
+	}
+	m.latency.ObserveDuration(time.Since(start))
+}
+
+// observeUnknown records a request for a name with no shard (404s).
+// Off the hot path, so the Vec lookup cost is fine.
+func (g *Gateway) observeUnknown(name string, start time.Time) {
+	ins := g.obs.Load()
+	if ins == nil {
+		return
+	}
+	ins.requests.With(name, "error").Inc()
+	ins.latency.With(name).ObserveDuration(time.Since(start))
 }
 
 // EnableBreaker arms a per-function circuit breaker: after threshold
@@ -84,8 +158,8 @@ func (g *Gateway) Instrument(reg *obs.Registry) {
 // until openFor elapses and a probe succeeds. Call before traffic;
 // threshold <= 0 disables breaking (the default).
 func (g *Gateway) EnableBreaker(threshold int, openFor time.Duration) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.smu.Lock()
+	defer g.smu.Unlock()
 	g.breakerThreshold = threshold
 	g.breakerOpenFor = openFor
 }
@@ -95,113 +169,97 @@ func (g *Gateway) EnableBreaker(threshold int, openFor time.Duration) {
 // time contract.
 func (g *Gateway) since() time.Duration { return time.Since(g.epoch) }
 
-// breakerLocked lazily builds the breaker guarding a function; nil when
-// breaking is disabled. Caller holds g.mu.
-func (g *Gateway) breakerLocked(name string) *faas.Breaker {
+// breakerLocked lazily builds the shard's breaker; nil when breaking
+// is disabled. Caller holds s.mu.
+func (g *Gateway) breakerLocked(s *shard) *faas.Breaker {
 	if g.breakerThreshold <= 0 {
 		return nil
 	}
-	b := g.breakers[name]
-	if b == nil {
-		b = faas.NewBreaker(g.breakerThreshold, g.breakerOpenFor)
-		g.breakers[name] = b
+	if s.breaker == nil {
+		s.breaker = faas.NewBreaker(g.breakerThreshold, g.breakerOpenFor)
 	}
-	return b
+	return s.breaker
 }
 
 // breakerAllow reports whether a request for the function may proceed,
-// counting and fast-fail accounting when it may not.
-func (g *Gateway) breakerAllow(name string) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	b := g.breakerLocked(name)
-	if b == nil {
+// counting and fast-fail accounting when it may not. With breaking
+// disabled (the default) this is one branch on an immutable field.
+func (g *Gateway) breakerAllow(s *shard) bool {
+	if g.breakerThreshold <= 0 {
 		return true
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := g.breakerLocked(s)
 	ok := b.Allow(g.since())
 	if !ok {
-		g.res["breaker.rejected"]++
-		g.eventLocked("breaker-rejected")
+		s.resLocked("breaker.rejected")
+		g.event("breaker-rejected")
 	}
-	g.syncBreakerGaugeLocked(name, b)
+	s.syncBreakerGaugeLocked(b, g.since())
 	return ok
 }
 
 // breakerFailure feeds a backend failure (boot or proxy) into the
 // function's breaker and bumps the named resilience counter.
-func (g *Gateway) breakerFailure(name, counter string) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.res[counter]++
-	g.eventLocked(counter)
-	b := g.breakerLocked(name)
+func (g *Gateway) breakerFailure(s *shard, counter string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resLocked(counter)
+	g.event(counter)
+	b := g.breakerLocked(s)
 	if b == nil {
 		return
 	}
 	if b.OnFailure(g.since()) {
-		g.res["breaker.trips"]++
-		g.eventLocked("breaker-open")
+		s.resLocked("breaker.trips")
+		g.event("breaker-open")
 	}
-	g.syncBreakerGaugeLocked(name, b)
+	s.syncBreakerGaugeLocked(b, g.since())
 }
 
 // breakerSuccess records a successful proxy round-trip.
-func (g *Gateway) breakerSuccess(name string) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	b := g.breakerLocked(name)
-	if b == nil {
+func (g *Gateway) breakerSuccess(s *shard) {
+	if g.breakerThreshold <= 0 {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := g.breakerLocked(s)
 	if b.State(g.since()) != faas.BreakerClosed {
-		g.res["breaker.closes"]++
-		g.eventLocked("breaker-close")
+		s.resLocked("breaker.closes")
+		g.event("breaker-close")
 	}
 	b.OnSuccess()
-	g.syncBreakerGaugeLocked(name, b)
+	s.syncBreakerGaugeLocked(b, g.since())
 }
 
-// eventLocked bumps the resilience-event metric. Caller holds g.mu.
-func (g *Gateway) eventLocked(kind string) {
-	if g.obs != nil {
-		g.obs.events.With(kind).Inc()
+// event bumps the resilience-event metric (failure paths only).
+func (g *Gateway) event(kind string) {
+	if ins := g.obs.Load(); ins != nil {
+		ins.events.With(kind).Inc()
 	}
 }
 
-func (g *Gateway) syncBreakerGaugeLocked(name string, b *faas.Breaker) {
-	if g.obs != nil && b != nil {
-		g.obs.breakerState.With(name).Set(float64(b.State(g.since())))
+// syncBreakerGaugeLocked refreshes the breaker-state gauge. Caller
+// holds s.mu.
+func (s *shard) syncBreakerGaugeLocked(b *faas.Breaker, at time.Duration) {
+	if m := s.m.Load(); m != nil && b != nil {
+		m.breakerSt.Set(float64(b.State(at)))
 	}
 }
 
-// syncWarmGaugeLocked refreshes the warm-pool gauge for a function.
-// Caller holds g.mu.
-func (g *Gateway) syncWarmGaugeLocked(name string) {
-	if g.obs != nil {
-		g.obs.warm.With(name).Set(float64(len(g.idle[name])))
-	}
-}
-
-// observe emits the per-request latency and outcome counters.
-func (g *Gateway) observe(name, outcome string, start time.Time) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.obs == nil {
-		return
-	}
-	g.obs.requests.With(name, outcome).Inc()
-	g.obs.latency.With(name).ObserveDuration(time.Since(start))
-}
-
-// ResilienceCounters snapshots the gateway's failure/breaker counters
+// ResilienceCounters sums the per-shard failure/breaker counters
 // (boot.failures, proxy.failures, breaker.trips, breaker.closes,
 // breaker.rejected). Counters with zero value are absent.
 func (g *Gateway) ResilienceCounters() map[string]int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := make(map[string]int, len(g.res))
-	for k, v := range g.res {
-		out[k] = v
+	out := make(map[string]int)
+	for _, s := range g.snapshotShards() {
+		s.mu.Lock()
+		for k, v := range s.res {
+			out[k] += v
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -209,19 +267,20 @@ func (g *Gateway) ResilienceCounters() map[string]int {
 // WarmAges reports each function's idle warm-instance ages at now, in
 // seconds, oldest first.
 func (g *Gateway) WarmAges(now time.Time) map[string][]float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := make(map[string][]float64, len(g.idle))
-	for name, list := range g.idle {
-		if len(list) == 0 {
+	out := make(map[string][]float64)
+	for _, s := range g.snapshotShards() {
+		s.mu.Lock()
+		if len(s.idle) == 0 {
+			s.mu.Unlock()
 			continue
 		}
-		ages := make([]float64, 0, len(list))
-		for _, inst := range list {
+		ages := make([]float64, 0, len(s.idle))
+		for _, inst := range s.idle {
 			ages = append(ages, now.Sub(inst.idleSince).Seconds())
 		}
+		s.mu.Unlock()
 		sort.Sort(sort.Reverse(sort.Float64Slice(ages)))
-		out[name] = ages
+		out[s.name] = ages
 	}
 	return out
 }

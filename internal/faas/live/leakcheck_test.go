@@ -24,6 +24,50 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
+// Shard teardown must not strand goroutines: a gateway with many
+// populated shards (warm instances, per-function controllers, breaker
+// state) is stopped and the goroutine count must fall back to its
+// pre-gateway level. This checks locally what the TestMain pass checks
+// package-wide, so a shard-lifecycle leak is pinned to this test
+// instead of surfacing as an end-of-run failure.
+func TestShardTeardownLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	g := NewGateway(true)
+	g.EnableControl(ControlConfig{
+		NewPredictor: naiveFactory,
+		Interval:     time.Hour, JanitorInterval: time.Hour,
+		KeepAlive: time.Minute,
+	})
+	for i := 0; i < 8; i++ {
+		if err := g.Register(echoFn(fmt.Sprintf("f%d", i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base, err := g.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		post(t, base+fmt.Sprintf("/function/f%d", i), "x")
+	}
+	g.Stop()
+
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections() // the test's own post() connections
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	const slack = 4
+	for runtime.NumGoroutine() > before+slack {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("shard teardown leaked goroutines: %d alive, baseline %d (slack %d):\n%s",
+				runtime.NumGoroutine(), before, slack, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
 func leakCheck(baseline int) int {
 	// Idle keep-alive connections in the shared transport pin their
 	// read loops; they are pool bookkeeping, not leaks.

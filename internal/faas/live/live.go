@@ -16,6 +16,20 @@
 // next one with the ES+Markov predictor, and prewarms or retires warm
 // instances to meet it — see controller.go.
 //
+// # Hot-path concurrency
+//
+// All mutable per-function state — the idle warm list, the circuit
+// breaker, resilience counters, controller demand accounting and the
+// stats deltas — lives in a per-function shard guarded by its own
+// small mutex. Shards are resolved through a read-mostly RWMutex
+// registry, so requests for two different functions never contend on a
+// lock, and requests for the same function only serialize for the few
+// instructions of pool bookkeeping. Aggregate views (Stats,
+// ResilienceCounters, /system/stats) sum across shards on demand,
+// locking one shard at a time: there is no global pause. Metric
+// observations go through per-shard pre-resolved obs handles whose
+// updates are lock-free atomics.
+//
 // This package exists so the examples and the hotcd daemon can
 // demonstrate the middleware against a real network stack; the figure
 // benchmarks use the deterministic simulated pipeline in the parent
@@ -30,6 +44,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hotc/internal/faas"
@@ -57,7 +72,7 @@ type instance struct {
 	addr   string
 	lis    net.Listener
 	// idleSince is when the instance last returned to the warm pool
-	// (set under the gateway lock; read by the janitor).
+	// (set under the shard lock; read by the janitor).
 	idleSince time.Time
 }
 
@@ -124,6 +139,59 @@ type Stats struct {
 	Expired int
 }
 
+// add accumulates another shard's deltas.
+func (s *Stats) add(o Stats) {
+	s.Requests += o.Requests
+	s.ColdStarts += o.ColdStarts
+	s.Reused += o.Reused
+	s.Prewarmed += o.Prewarmed
+	s.Retired += o.Retired
+	s.Expired += o.Expired
+}
+
+// shard is one function's slice of the gateway: everything a request
+// for that function mutates lives here, behind the shard's own mutex,
+// so functions never contend with each other and aggregate reads
+// (Stats, ResilienceCounters) never pause the request path globally.
+type shard struct {
+	name string
+
+	mu sync.Mutex
+	// fn is the deployed function (Register may replace it in place).
+	fn Function
+	// idle is the warm pool, oldest first; reuse pops from the tail.
+	idle []*instance
+	// stats are this function's deltas; Gateway.Stats sums shards.
+	stats Stats
+	// breaker guards the function when breaking is armed (lazy).
+	breaker *faas.Breaker
+	// res counts resilience events by kind (lazy map).
+	res map[string]int
+	// ctl is the adaptive-control state: in-flight demand accounting,
+	// the predictor and its evaluation series.
+	ctl fnControl
+
+	// m holds the pre-resolved per-function metric handles; nil when
+	// the gateway is uninstrumented. Swapped wholesale by Instrument,
+	// read lock-free on the request path.
+	m atomic.Pointer[shardMetrics]
+}
+
+// syncWarmLocked refreshes the warm-pool gauge. Caller holds s.mu.
+func (s *shard) syncWarmLocked() {
+	if m := s.m.Load(); m != nil {
+		m.warm.Set(float64(len(s.idle)))
+	}
+}
+
+// resLocked bumps a resilience counter. Caller holds s.mu.
+func (s *shard) resLocked(kind string) {
+	if s.res == nil {
+		s.res = make(map[string]int)
+	}
+	s.res[kind]++
+}
+
 // Gateway proxies /function/<name> requests to watchdog instances.
 type Gateway struct {
 	reuse bool
@@ -133,71 +201,126 @@ type Gateway struct {
 	// keep-alive and controller timing.
 	nowFn func() time.Time
 
-	mu      sync.Mutex
-	fns     map[string]Function
-	idle    map[string][]*instance
-	stats   Stats
-	stopped bool
+	// smu guards the shard registry and the gateway lifecycle
+	// transitions (start/stop/register). The request path only ever
+	// takes the read side, for the map lookup.
+	smu    sync.RWMutex
+	shards map[string]*shard
 
-	// ctl configures adaptive control (see EnableControl); fnCtl holds
-	// the per-function demand/predictor state, ctlRunning reports that
-	// background loops were launched.
+	// stopped flips once in Stop (under smu); the request path and the
+	// background loops read it lock-free.
+	stopped atomic.Bool
+
+	// ctl configures adaptive control (see EnableControl). It is
+	// written before Start and read-only afterwards; ctlRunning (under
+	// smu) reports that background loops were launched.
 	ctl        ControlConfig
-	fnCtl      map[string]*fnControl
 	ctlRunning bool
 	ctlStop    chan struct{}
 	// wg tracks every background goroutine the gateway owns:
 	// controllers, the janitor, prewarm boots and retire teardowns.
+	// Adds happen under smu (read or write side) after a stopped
+	// check, so they cannot race Stop's Wait.
 	wg sync.WaitGroup
 
 	// breakerThreshold/breakerOpenFor arm the per-function circuit
-	// breaker (see EnableBreaker); breakers and res hold its state and
-	// the resilience counters.
+	// breaker (see EnableBreaker). Written before traffic, read-only
+	// afterwards.
 	breakerThreshold int
 	breakerOpenFor   time.Duration
-	breakers         map[string]*faas.Breaker
-	res              map[string]int
 
-	// obs is the optional metric hookup (see Instrument).
-	obs *instruments
+	// obs is the optional metric hookup (see Instrument), read
+	// lock-free on the request path.
+	obs atomic.Pointer[instruments]
 
-	server *http.Server
-	lis    net.Listener
-	client *http.Client
+	server    *http.Server
+	lis       net.Listener
+	client    *http.Client
+	transport *http.Transport
 }
 
 // NewGateway creates a gateway. With reuse enabled, finished instances
 // return to a warm pool (the HotC behaviour); without it every request
 // boots and tears down an instance (the default cold behaviour).
 func NewGateway(reuse bool) *Gateway {
+	// The gateway talks to many watchdog instances, each its own
+	// host:port serving one request at a time. The default transport's
+	// 2-idle-conns-per-host and 100 idle conns total force TCP churn as
+	// soon as the warm pool grows past a hundred instances, so the
+	// gateway owns a transport sized for the pool: one keep-alive
+	// connection per warm instance, with generous totals.
+	transport := &http.Transport{
+		MaxIdleConns:        4096,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	}
 	return &Gateway{
-		reuse:    reuse,
-		epoch:    time.Now(),
-		nowFn:    time.Now,
-		fns:      make(map[string]Function),
-		idle:     make(map[string][]*instance),
-		fnCtl:    make(map[string]*fnControl),
-		ctlStop:  make(chan struct{}),
-		breakers: make(map[string]*faas.Breaker),
-		res:      make(map[string]int),
-		client:   &http.Client{Timeout: 30 * time.Second},
+		reuse:     reuse,
+		epoch:     time.Now(),
+		nowFn:     time.Now,
+		shards:    make(map[string]*shard),
+		ctlStop:   make(chan struct{}),
+		transport: transport,
+		client:    &http.Client{Timeout: 30 * time.Second, Transport: transport},
 	}
 }
 
+// shard returns the function's shard, or nil if it was never
+// registered. One read-locked map lookup: the request path's only
+// touch of gateway-global state.
+func (g *Gateway) shard(name string) *shard {
+	g.smu.RLock()
+	s := g.shards[name]
+	g.smu.RUnlock()
+	return s
+}
+
+// snapshotShards copies the shard list for iteration outside the
+// registry lock.
+func (g *Gateway) snapshotShards() []*shard {
+	g.smu.RLock()
+	out := make([]*shard, 0, len(g.shards))
+	for _, s := range g.shards {
+		out = append(out, s)
+	}
+	g.smu.RUnlock()
+	return out
+}
+
+// newShardLocked creates a shard with its predictor and metric handles
+// resolved. Caller holds smu (write side).
+func (g *Gateway) newShardLocked(name string) *shard {
+	s := &shard{name: name}
+	if g.ctl.NewPredictor != nil {
+		s.ctl.pred = g.ctl.NewPredictor()
+	}
+	if ins := g.obs.Load(); ins != nil {
+		s.m.Store(ins.forFunction(name))
+	}
+	return s
+}
+
 // Register deploys a function. Functions registered after Start join
-// the adaptive control loop immediately.
+// the adaptive control loop immediately; re-registering a name swaps
+// the handler in place.
 func (g *Gateway) Register(fn Function) error {
 	if fn.Name == "" || fn.Handler == nil {
 		return fmt.Errorf("live: function needs a name and a handler")
 	}
-	g.mu.Lock()
-	_, existed := g.fns[fn.Name]
-	g.fns[fn.Name] = fn
-	spawn := !existed && g.ctlRunning && g.ctl.NewPredictor != nil && !g.stopped
+	g.smu.Lock()
+	s, existed := g.shards[fn.Name]
+	if !existed {
+		s = g.newShardLocked(fn.Name)
+		g.shards[fn.Name] = s
+	}
+	spawn := !existed && g.ctlRunning && g.ctl.NewPredictor != nil && !g.stopped.Load()
 	if spawn {
 		g.wg.Add(1)
 	}
-	g.mu.Unlock()
+	g.smu.Unlock()
+	s.mu.Lock()
+	s.fn = fn
+	s.mu.Unlock()
 	if spawn {
 		go g.runController(fn.Name)
 	}
@@ -232,28 +355,26 @@ func (g *Gateway) startOn(addr string, mux *http.ServeMux) (string, error) {
 }
 
 // Stop shuts the gateway, the control loops and all warm instances
-// down. It is idempotent. Instances are collected under the lock but
-// stopped outside it, concurrently: holding the gateway mutex across N
-// serial 1s-timeout shutdowns would block every other gateway method
-// for up to N seconds.
+// down. It is idempotent. Instances are collected shard by shard but
+// stopped outside the locks, concurrently: holding any lock across N
+// serial 1s-timeout shutdowns would block gateway methods for up to N
+// seconds.
 func (g *Gateway) Stop() {
-	g.mu.Lock()
-	if g.stopped {
-		g.mu.Unlock()
+	g.smu.Lock()
+	if g.stopped.Load() {
+		g.smu.Unlock()
 		return
 	}
 	// Mark stopped before anything else: from here on, release() and
 	// the controller/janitor tear instances down instead of touching
 	// the pool, so an in-flight request finishing after Stop cannot
-	// resurrect an instance into the cleared idle map.
-	g.stopped = true
-	var insts []*instance
-	for name, list := range g.idle {
-		insts = append(insts, list...)
-		delete(g.idle, name)
-		g.syncWarmGaugeLocked(name)
+	// resurrect an instance into a drained shard.
+	g.stopped.Store(true)
+	shards := make([]*shard, 0, len(g.shards))
+	for _, s := range g.shards {
+		shards = append(shards, s)
 	}
-	g.mu.Unlock()
+	g.smu.Unlock()
 
 	close(g.ctlStop)
 	if g.server != nil {
@@ -261,97 +382,113 @@ func (g *Gateway) Stop() {
 		g.server.Shutdown(ctx)
 		cancel()
 	}
+	var insts []*instance
+	for _, s := range shards {
+		s.mu.Lock()
+		insts = append(insts, s.idle...)
+		s.idle = nil
+		s.syncWarmLocked()
+		s.mu.Unlock()
+	}
 	stopAll(insts)
+	// Drop the keep-alive connections to the (now gone) watchdogs so
+	// their transport read loops exit with the gateway.
+	g.transport.CloseIdleConnections()
 	g.wg.Wait()
 }
 
-// Stats returns a snapshot of the counters.
+// Stats sums the per-shard counters into a snapshot. Each shard is
+// locked for a handful of integer reads; requests for other functions
+// proceed untouched and requests for the sampled function wait only
+// for that copy — there is no global pause.
 func (g *Gateway) Stats() Stats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
+	var total Stats
+	for _, s := range g.snapshotShards() {
+		s.mu.Lock()
+		total.add(s.stats)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // WarmInstances reports the number of idle warm instances for a
 // function.
 func (g *Gateway) WarmInstances(name string) int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return len(g.idle[name])
+	s := g.shard(name)
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idle)
 }
 
 // acquire returns a warm instance or boots a new one, tracking
 // in-flight demand for the controller.
-func (g *Gateway) acquire(name string) (*instance, bool, error) {
-	g.mu.Lock()
-	fn, ok := g.fns[name]
-	if !ok {
-		g.mu.Unlock()
-		return nil, false, fmt.Errorf("live: unknown function %q", name)
+func (g *Gateway) acquire(s *shard) (*instance, bool, error) {
+	s.mu.Lock()
+	fn := s.fn
+	s.ctl.inFlight++
+	if s.ctl.inFlight > s.ctl.peak {
+		s.ctl.peak = s.ctl.inFlight
 	}
-	st := g.fnCtlLocked(name)
-	st.inFlight++
-	if st.inFlight > st.peak {
-		st.peak = st.inFlight
-	}
-	if list := g.idle[name]; len(list) > 0 {
-		inst := list[len(list)-1]
-		g.idle[name] = list[:len(list)-1]
-		g.stats.Reused++
-		g.stats.Requests++
-		g.syncWarmGaugeLocked(name)
-		g.mu.Unlock()
+	if n := len(s.idle); n > 0 {
+		inst := s.idle[n-1]
+		s.idle = s.idle[:n-1]
+		s.stats.Reused++
+		s.stats.Requests++
+		s.syncWarmLocked()
+		s.mu.Unlock()
 		return inst, true, nil
 	}
-	g.stats.ColdStarts++
-	g.stats.Requests++
-	g.mu.Unlock()
+	s.stats.ColdStarts++
+	s.stats.Requests++
+	s.mu.Unlock()
 
 	inst, err := startInstance(fn) // cold boot outside the lock
 	if err != nil {
-		g.decInFlight(name)
+		g.decInFlight(s)
 	}
 	return inst, false, err
 }
 
 // decInFlight ends a request's demand accounting.
-func (g *Gateway) decInFlight(name string) {
-	g.mu.Lock()
-	if st := g.fnCtl[name]; st != nil && st.inFlight > 0 {
-		st.inFlight--
+func (g *Gateway) decInFlight(s *shard) {
+	s.mu.Lock()
+	if s.ctl.inFlight > 0 {
+		s.ctl.inFlight--
 	}
-	g.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // release returns the instance to the warm pool, enforcing the warm
 // cap with oldest-first eviction — or tears it down when reuse is off
 // or the gateway already stopped (an in-flight request that outlives
 // Stop must not leak its watchdog into a dead pool).
-func (g *Gateway) release(name string, inst *instance) {
-	g.mu.Lock()
-	if st := g.fnCtl[name]; st != nil && st.inFlight > 0 {
-		st.inFlight--
+func (g *Gateway) release(s *shard, inst *instance) {
+	s.mu.Lock()
+	if s.ctl.inFlight > 0 {
+		s.ctl.inFlight--
 	}
-	if !g.reuse || g.stopped {
-		g.mu.Unlock()
+	if !g.reuse || g.stopped.Load() {
+		s.mu.Unlock()
 		inst.stop()
 		return
 	}
 	var evict *instance
-	if g.ctl.MaxWarm > 0 && len(g.idle[name]) >= g.ctl.MaxWarm {
+	if g.ctl.MaxWarm > 0 && len(s.idle) >= g.ctl.MaxWarm {
 		// The gateway reuses from the tail, so the head is oldest.
-		list := g.idle[name]
-		evict = list[0]
-		g.idle[name] = append(list[:0:0], list[1:]...)
-		g.stats.Retired++
-		if g.obs != nil {
-			g.obs.poolRetired.Inc()
+		evict = s.idle[0]
+		s.idle = append(s.idle[:0:0], s.idle[1:]...)
+		s.stats.Retired++
+		if ins := g.obs.Load(); ins != nil {
+			ins.poolRetired.Inc()
 		}
 	}
 	inst.idleSince = g.nowFn()
-	g.idle[name] = append(g.idle[name], inst)
-	g.syncWarmGaugeLocked(name)
-	g.mu.Unlock()
+	s.idle = append(s.idle, inst)
+	s.syncWarmLocked()
+	s.mu.Unlock()
 	if evict != nil {
 		evict.stop()
 	}
@@ -360,8 +497,8 @@ func (g *Gateway) release(name string, inst *instance) {
 // discard ends a request whose instance is suspect (boot or transport
 // failure): demand accounting is closed and the instance, if any, is
 // torn down rather than re-pooled.
-func (g *Gateway) discard(name string, inst *instance) {
-	g.decInFlight(name)
+func (g *Gateway) discard(s *shard, inst *instance) {
+	g.decInFlight(s)
 	if inst != nil {
 		inst.stop()
 	}
@@ -373,27 +510,25 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 
 	// Unknown functions are a client error and must not feed the
 	// breaker: a typo cannot open the circuit for a healthy function.
-	g.mu.Lock()
-	_, known := g.fns[name]
-	g.mu.Unlock()
-	if !known {
-		g.observe(name, "error", start)
+	s := g.shard(name)
+	if s == nil {
+		g.observeUnknown(name, start)
 		http.Error(w, fmt.Sprintf("live: unknown function %q", name), http.StatusNotFound)
 		return
 	}
 
 	// While the breaker is open, fast-fail instead of piling boots onto
 	// a failing backend.
-	if !g.breakerAllow(name) {
-		g.observe(name, "rejected", start)
+	if !g.breakerAllow(s) {
+		s.observe("rejected", start)
 		http.Error(w, fmt.Sprintf("live: circuit breaker open for %q", name), http.StatusServiceUnavailable)
 		return
 	}
 
-	inst, reused, err := g.acquire(name)
+	inst, reused, err := g.acquire(s)
 	if err != nil {
-		g.breakerFailure(name, "boot.failures")
-		g.observe(name, "error", start)
+		g.breakerFailure(s, "boot.failures")
+		s.observe("error", start)
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -402,39 +537,37 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	// makes the instance suspect: tear it down rather than re-pool it.
 	resp, err := g.client.Post("http://"+inst.addr+"/", "application/octet-stream", r.Body)
 	if err != nil {
-		g.discard(name, inst)
-		g.breakerFailure(name, "proxy.failures")
-		g.observe(name, "error", start)
+		g.discard(s, inst)
+		g.breakerFailure(s, "proxy.failures")
+		s.observe("error", start)
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		g.discard(name, inst)
-		g.breakerFailure(name, "proxy.failures")
-		g.observe(name, "error", start)
+		g.discard(s, inst)
+		g.breakerFailure(s, "proxy.failures")
+		s.observe("error", start)
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
 	// The round-trip worked; a handler-level error status is the
 	// function's business, not a runtime fault.
-	g.release(name, inst)
-	g.breakerSuccess(name)
+	g.release(s, inst)
+	g.breakerSuccess(s)
 	outcome := "ok"
 	if resp.StatusCode >= 400 {
 		outcome = "error"
 	}
-	g.mu.Lock()
-	if g.obs != nil {
-		mode := "cold"
+	if ins := g.obs.Load(); ins != nil {
 		if reused {
-			mode = "warm"
+			ins.startsWarm.Inc()
+		} else {
+			ins.startsCold.Inc()
 		}
-		g.obs.starts.With(mode).Inc()
 	}
-	g.mu.Unlock()
-	g.observe(name, outcome, start)
+	s.observe(outcome, start)
 	// Forward the watchdog's response headers (Content-Type etc.)
 	// before committing the status line, then the gateway's own.
 	hdr := w.Header()

@@ -332,12 +332,13 @@ func TestStopShutsPinnedInstancesConcurrently(t *testing.T) {
 
 	// Pin each watchdog with a half-sent request so its Shutdown blocks
 	// for the full 1s grace.
-	g.mu.Lock()
+	s := g.shard("slow")
+	s.mu.Lock()
 	addrs := make([]string, 0, 3)
-	for _, inst := range g.idle["slow"] {
+	for _, inst := range s.idle {
 		addrs = append(addrs, inst.addr)
 	}
-	g.mu.Unlock()
+	s.mu.Unlock()
 	for _, addr := range addrs {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {

@@ -1,0 +1,240 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hotc/internal/obs"
+	"hotc/internal/predictor"
+)
+
+// countDials wraps the gateway's transport dialer so tests can assert
+// how many TCP connections the proxy path actually opens.
+func countDials(g *Gateway) *atomic.Int64 {
+	var dials atomic.Int64
+	base := g.transport.DialContext
+	if base == nil {
+		d := &net.Dialer{}
+		base = d.DialContext
+	}
+	g.transport.DialContext = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		dials.Add(1)
+		return base(ctx, network, addr)
+	}
+	return &dials
+}
+
+// The gateway's dedicated transport must keep one connection per warm
+// watchdog alive across requests. Under parallel load on one function,
+// the dial count stays in the order of the instances booted — not the
+// requests served — which is exactly what the default transport's
+// 2-per-host / 100-total idle caps break once the pool grows.
+func TestTransportReusesWatchdogConnections(t *testing.T) {
+	g := NewGateway(true)
+	dials := countDials(g)
+	if err := g.Register(Function{
+		Name:    "f",
+		Handler: func(b []byte) ([]byte, error) { return b, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	var fail atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				req := httptest.NewRequest("POST", "/function/f", strings.NewReader("x"))
+				rec := httptest.NewRecorder()
+				g.handle(rec, req)
+				if rec.Code != 200 {
+					fail.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := fail.Load(); n > 0 {
+		t.Fatalf("%d requests failed", n)
+	}
+
+	st := g.Stats()
+	if st.Requests != workers*perWorker {
+		t.Fatalf("Requests = %d, want %d", st.Requests, workers*perWorker)
+	}
+	// Every cold boot needs a first dial; after that, keep-alive must
+	// carry the load. Allow slack for requests racing a connection's
+	// return to the idle pool.
+	limit := int64(st.ColdStarts + 2*workers)
+	if got := dials.Load(); got > limit {
+		t.Fatalf("transport dialed %d times for %d requests over %d instances (limit %d): keep-alive reuse is broken",
+			got, st.Requests, st.ColdStarts, limit)
+	}
+}
+
+// Aggregate snapshots must not stop the world: Stats, warm counts,
+// resilience counters, warm ages and prediction traces are hammered
+// while request traffic flows. Run under -race; the assertions are
+// about liveness and internal consistency, the race detector does the
+// rest.
+func TestSnapshotsDuringTraffic(t *testing.T) {
+	g := NewGateway(true)
+	g.Instrument(obs.New())
+	g.EnableBreaker(3, time.Second)
+	g.EnableControl(ControlConfig{
+		NewPredictor: func() predictor.Predictor { return predictor.Default() },
+		Interval:     time.Hour, JanitorInterval: time.Hour,
+		KeepAlive: time.Minute, MaxWarm: 4,
+	})
+	names := make([]string, 3)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i)
+		if err := g.Register(Function{
+			Name:    names[i],
+			Handler: func(b []byte) ([]byte, error) { return b, nil },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := names[(w+i)%len(names)]
+				req := httptest.NewRequest("POST", "/function/"+name, strings.NewReader("x"))
+				g.handle(httptest.NewRecorder(), req)
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	var snapshots int
+	for time.Now().Before(deadline) {
+		st := g.Stats()
+		if st.Requests < 0 || st.ColdStarts+st.Reused > st.Requests {
+			t.Errorf("inconsistent stats snapshot: %+v", st)
+			break
+		}
+		for _, name := range names {
+			g.WarmInstances(name)
+		}
+		g.ResilienceCounters()
+		g.WarmAges(time.Now())
+		g.PredictionTraces()
+		g.Forecasts()
+		snapshots++
+	}
+	close(stop)
+	wg.Wait()
+	if snapshots == 0 {
+		t.Fatal("no snapshots completed while traffic flowed: Stats blocked on the request path")
+	}
+}
+
+// Register must be safe while requests, controller ticks and other
+// Registers run: new functions join live, re-registering swaps the
+// handler in place, and the per-function controller spawn does not
+// race Stop. Run under -race.
+func TestConcurrentRegisterDuringTraffic(t *testing.T) {
+	g, clk, _ := startControlled(t,
+		ControlConfig{NewPredictor: naiveFactory, KeepAlive: time.Minute, MaxWarm: 2},
+		echoFn("f0", 0))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := fmt.Sprintf("f%d", i%4)
+				req := httptest.NewRequest("POST", "/function/"+name, strings.NewReader("x"))
+				g.handle(httptest.NewRecorder(), req)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			g.controlOnce("f0", clk.Advance(time.Millisecond))
+			g.janitorOnce(clk.Now())
+		}
+	}()
+
+	// Racing registrations: three brand-new names (each spawns a
+	// controller) and a handler swap on the live one.
+	var reg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		reg.Add(1)
+		go func(i int) {
+			defer reg.Done()
+			if err := g.Register(echoFn(fmt.Sprintf("f%d", i), 0)); err != nil {
+				t.Errorf("register f%d: %v", i, err)
+			}
+		}(i)
+	}
+	reg.Add(1)
+	go func() {
+		defer reg.Done()
+		if err := g.Register(Function{
+			Name:    "f0",
+			Handler: func(b []byte) ([]byte, error) { return append(b, '!'), nil },
+		}); err != nil {
+			t.Errorf("re-register f0: %v", err)
+		}
+	}()
+	reg.Wait()
+	time.Sleep(50 * time.Millisecond) // let traffic hit the new shards
+	close(stop)
+	wg.Wait()
+
+	// A swapped handler only takes effect on fresh boots — warm
+	// instances keep the handler they booted with — so expire the warm
+	// pool before asserting.
+	g.janitorOnce(clk.Advance(2 * time.Minute))
+
+	// All four functions must now be live and the swapped handler in
+	// effect.
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("f%d", i)
+		req := httptest.NewRequest("POST", "/function/"+name, strings.NewReader("x"))
+		rec := httptest.NewRecorder()
+		g.handle(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("%s after concurrent register: status %d: %s", name, rec.Code, rec.Body)
+		}
+		if name == "f0" && rec.Body.String() != "x!" {
+			t.Fatalf("f0 handler swap not in effect: body %q", rec.Body)
+		}
+	}
+}

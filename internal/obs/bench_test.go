@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkObsHotPath measures the per-observation cost the instrument
+// layers pay. The cached_* variants hold a pre-resolved series handle —
+// the pattern every hot call site should use — and must not allocate;
+// the with_lookup variants resolve labels on every observation and show
+// the cost the handle cache avoids.
+func BenchmarkObsHotPath(b *testing.B) {
+	b.Run("counter_cached_handle", func(b *testing.B) {
+		c := New().CounterVec("hotc_bench_total", "", "fn").With("f")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("counter_with_lookup", func(b *testing.B) {
+		v := New().CounterVec("hotc_bench_total", "", "fn")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				v.With("f").Inc()
+			}
+		})
+	})
+	b.Run("gauge_cached_handle", func(b *testing.B) {
+		g := New().GaugeVec("hotc_bench_gauge", "", "fn").With("f")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			var i int64
+			for pb.Next() {
+				i++
+				g.Set(float64(i))
+			}
+		})
+	})
+	b.Run("histogram_cached_handle", func(b *testing.B) {
+		h := New().HistogramVec("hotc_bench_ms", "", DefaultLatencyBucketsMS(), "fn").With("f")
+		b.ReportAllocs()
+		var n atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				h.ObserveDuration(time.Duration(n.Add(1)) * time.Microsecond)
+			}
+		})
+	})
+	b.Run("histogram_with_lookup", func(b *testing.B) {
+		v := New().HistogramVec("hotc_bench_ms", "", DefaultLatencyBucketsMS(), "fn")
+		b.ReportAllocs()
+		var n atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				v.With("f").ObserveDuration(time.Duration(n.Add(1)) * time.Microsecond)
+			}
+		})
+	})
+}

@@ -14,10 +14,12 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"regexp"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -106,40 +108,66 @@ type family struct {
 	labels []string
 	bounds []float64 // histogram upper bounds, strictly increasing
 
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	series map[string]*series
 }
 
-// series is one label-value combination's state. value is the
-// counter/gauge value; histograms use counts/sum/count.
+// series is one label-value combination's state, held entirely in
+// atomics so the observation fast path (counter increments, gauge sets,
+// histogram observes) is lock-free: bits carries the counter/gauge
+// value as float64 bits updated by CAS, histograms bump their bucket,
+// sum and count independently. Readers see each field atomically; a
+// snapshot taken mid-observation may catch a histogram's count ahead
+// of its sum by one observation, which is the standard exposition
+// trade-off for a lock-free write path.
 type series struct {
 	labelValues []string
 
-	mu     sync.Mutex
-	value  float64
-	counts []uint64 // per-bucket (non-cumulative); last entry is +Inf
-	sum    float64
-	count  uint64
+	bits    atomic.Uint64   // counter/gauge value as math.Float64bits
+	counts  []atomic.Uint64 // per-bucket (non-cumulative); last entry is +Inf
+	sumBits atomic.Uint64   // histogram sum as float64 bits
+	count   atomic.Uint64
+}
+
+// addFloat atomically adds v to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
 }
 
 const labelSep = "\x1f"
 
+// get resolves (creating on first use) the series for a label-value
+// combination. The read path is a shared RLock so concurrent resolution
+// of existing series does not serialize; hot call sites should still
+// resolve once and keep the returned handle (see the Vec With docs).
 func (f *family) get(labelValues []string) *series {
 	if len(labelValues) != len(f.labels) {
 		panic(fmt.Sprintf("obs: %s wants %d label values (%v), got %d",
 			f.name, len(f.labels), f.labels, len(labelValues)))
 	}
 	key := strings.Join(labelValues, labelSep)
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	s, ok := f.series[key]
-	if !ok {
-		s = &series{labelValues: append([]string(nil), labelValues...)}
-		if f.kind == KindHistogram {
-			s.counts = make([]uint64, len(f.bounds)+1)
-		}
-		f.series[key] = s
+	if s, ok := f.series[key]; ok {
+		return s
 	}
+	s = &series{labelValues: append([]string(nil), labelValues...)}
+	if f.kind == KindHistogram {
+		s.counts = make([]atomic.Uint64, len(f.bounds)+1)
+	}
+	f.series[key] = s
 	return s
 }
 
@@ -198,7 +226,9 @@ func equalFloats(a, b []float64) bool {
 	return true
 }
 
-// Counter is a monotonically non-decreasing total.
+// Counter is a monotonically non-decreasing total. Increments are a
+// lock-free CAS on the value's float bits, so a cached Counter handle
+// costs no locks and no allocations per observation.
 type Counter struct{ s *series }
 
 // Inc adds one.
@@ -209,46 +239,39 @@ func (c *Counter) Add(v float64) {
 	if v < 0 {
 		panic(fmt.Sprintf("obs: counter decremented by %v", v))
 	}
-	c.s.mu.Lock()
-	c.s.value += v
-	c.s.mu.Unlock()
+	addFloat(&c.s.bits, v)
 }
 
 // Value returns the current total.
 func (c *Counter) Value() float64 {
-	c.s.mu.Lock()
-	defer c.s.mu.Unlock()
-	return c.s.value
+	return math.Float64frombits(c.s.bits.Load())
 }
 
-// Gauge is a value that can go up and down.
+// Gauge is a value that can go up and down. Set is an atomic store;
+// Add is a lock-free CAS.
 type Gauge struct{ s *series }
 
 // Set replaces the value.
 func (g *Gauge) Set(v float64) {
-	g.s.mu.Lock()
-	g.s.value = v
-	g.s.mu.Unlock()
+	g.s.bits.Store(math.Float64bits(v))
 }
 
 // Add adjusts the value by v (negative to decrement).
 func (g *Gauge) Add(v float64) {
-	g.s.mu.Lock()
-	g.s.value += v
-	g.s.mu.Unlock()
+	addFloat(&g.s.bits, v)
 }
 
 // Value returns the current value.
 func (g *Gauge) Value() float64 {
-	g.s.mu.Lock()
-	defer g.s.mu.Unlock()
-	return g.s.value
+	return math.Float64frombits(g.s.bits.Load())
 }
 
 // Histogram buckets observations by upper bound. A value lands in the
 // first bucket whose bound is >= the value (Prometheus `le`
 // semantics); values above every bound land in the implicit +Inf
-// bucket.
+// bucket. The bucket index is a binary search over the bounds and the
+// bucket/sum/count updates are independent atomics, so observation
+// through a cached handle is lock-free.
 type Histogram struct {
 	f *family
 	s *series
@@ -257,11 +280,9 @@ type Histogram struct {
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.f.bounds, v)
-	h.s.mu.Lock()
-	h.s.counts[i]++
-	h.s.sum += v
-	h.s.count++
-	h.s.mu.Unlock()
+	h.s.counts[i].Add(1)
+	addFloat(&h.s.sumBits, v)
+	h.s.count.Add(1)
 }
 
 // ObserveDuration records a duration in milliseconds.
@@ -271,24 +292,18 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 
 // Count reports the number of observations.
 func (h *Histogram) Count() uint64 {
-	h.s.mu.Lock()
-	defer h.s.mu.Unlock()
-	return h.s.count
+	return h.s.count.Load()
 }
 
 // Sum reports the total of all observed values.
 func (h *Histogram) Sum() float64 {
-	h.s.mu.Lock()
-	defer h.s.mu.Unlock()
-	return h.s.sum
+	return math.Float64frombits(h.s.sumBits.Load())
 }
 
 // BucketCount reports the (non-cumulative) count of bucket i; index
 // len(bounds) is the +Inf bucket.
 func (h *Histogram) BucketCount(i int) uint64 {
-	h.s.mu.Lock()
-	defer h.s.mu.Unlock()
-	return h.s.counts[i]
+	return h.s.counts[i].Load()
 }
 
 // Counter registers (or fetches) an unlabeled counter.
@@ -310,8 +325,40 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return &Histogram{f: f, s: f.get(nil)}
 }
 
+// handleCache memoizes the wrapper handle for each label combination
+// so repeated With calls on a Vec return the same pre-resolved handle
+// without allocating. Hot call sites should still call With once and
+// keep the handle: that skips even the cache's join+lookup.
+type handleCache[T any] struct {
+	mu    sync.RWMutex
+	cache map[string]T
+}
+
+func (c *handleCache[T]) get(key string) (T, bool) {
+	c.mu.RLock()
+	v, ok := c.cache[key]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *handleCache[T]) put(key string, v T) T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prior, ok := c.cache[key]; ok {
+		return prior
+	}
+	if c.cache == nil {
+		c.cache = make(map[string]T)
+	}
+	c.cache[key] = v
+	return v
+}
+
 // CounterVec is a labeled family of counters.
-type CounterVec struct{ f *family }
+type CounterVec struct {
+	f       *family
+	handles handleCache[*Counter]
+}
 
 // CounterVec registers (or fetches) a counter family with the given
 // label names.
@@ -319,14 +366,21 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return &CounterVec{f: r.family(name, help, KindCounter, labels, nil)}
 }
 
-// With returns the child counter for the label values (created on
-// first use).
+// With returns the cached child counter for the label values (created
+// and memoized on first use, so repeated With calls do not allocate).
 func (v *CounterVec) With(labelValues ...string) *Counter {
-	return &Counter{s: v.f.get(labelValues)}
+	key := strings.Join(labelValues, labelSep)
+	if c, ok := v.handles.get(key); ok {
+		return c
+	}
+	return v.handles.put(key, &Counter{s: v.f.get(labelValues)})
 }
 
 // GaugeVec is a labeled family of gauges.
-type GaugeVec struct{ f *family }
+type GaugeVec struct {
+	f       *family
+	handles handleCache[*Gauge]
+}
 
 // GaugeVec registers (or fetches) a gauge family with the given label
 // names.
@@ -334,14 +388,21 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 	return &GaugeVec{f: r.family(name, help, KindGauge, labels, nil)}
 }
 
-// With returns the child gauge for the label values.
+// With returns the cached child gauge for the label values.
 func (v *GaugeVec) With(labelValues ...string) *Gauge {
-	return &Gauge{s: v.f.get(labelValues)}
+	key := strings.Join(labelValues, labelSep)
+	if g, ok := v.handles.get(key); ok {
+		return g
+	}
+	return v.handles.put(key, &Gauge{s: v.f.get(labelValues)})
 }
 
 // HistogramVec is a labeled family of histograms sharing one bucket
 // layout.
-type HistogramVec struct{ f *family }
+type HistogramVec struct {
+	f       *family
+	handles handleCache[*Histogram]
+}
 
 // HistogramVec registers (or fetches) a histogram family with the
 // given bounds and label names.
@@ -349,9 +410,13 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...s
 	return &HistogramVec{f: r.family(name, help, KindHistogram, labels, bounds)}
 }
 
-// With returns the child histogram for the label values.
+// With returns the cached child histogram for the label values.
 func (v *HistogramVec) With(labelValues ...string) *Histogram {
-	return &Histogram{f: v.f, s: v.f.get(labelValues)}
+	key := strings.Join(labelValues, labelSep)
+	if h, ok := v.handles.get(key); ok {
+		return h
+	}
+	return v.handles.put(key, &Histogram{f: v.f, s: v.f.get(labelValues)})
 }
 
 // FamilySnapshot is a point-in-time copy of one metric family.
@@ -397,7 +462,7 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 			Labels: append([]string(nil), f.labels...),
 			Bounds: append([]float64(nil), f.bounds...),
 		}
-		f.mu.Lock()
+		f.mu.RLock()
 		keys := make([]string, 0, len(f.series))
 		for k := range f.series {
 			keys = append(keys, k)
@@ -405,20 +470,21 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 		sort.Strings(keys)
 		for _, k := range keys {
 			s := f.series[k]
-			s.mu.Lock()
 			ss := SeriesSnapshot{
 				LabelValues: append([]string(nil), s.labelValues...),
-				Value:       s.value,
-				Count:       s.count,
-				Sum:         s.sum,
+				Value:       math.Float64frombits(s.bits.Load()),
+				Count:       s.count.Load(),
+				Sum:         math.Float64frombits(s.sumBits.Load()),
 			}
 			if f.kind == KindHistogram {
-				ss.BucketCounts = append([]uint64(nil), s.counts...)
+				ss.BucketCounts = make([]uint64, len(s.counts))
+				for i := range s.counts {
+					ss.BucketCounts[i] = s.counts[i].Load()
+				}
 			}
-			s.mu.Unlock()
 			fs.Series = append(fs.Series, ss)
 		}
-		f.mu.Unlock()
+		f.mu.RUnlock()
 		out = append(out, fs)
 	}
 	return out

@@ -1,12 +1,23 @@
 package pool
 
 import (
+	"sync"
+
 	"hotc/internal/config"
 	"hotc/internal/obs"
 )
 
+// keyGauges holds the pre-resolved occupancy gauges for one runtime
+// key, so syncKeyGauges avoids label joins and vec lookups on every
+// acquire/release.
+type keyGauges struct {
+	live  *obs.Gauge
+	avail *obs.Gauge
+}
+
 // instruments bundles the pool's metric families. nil (the default)
-// means uninstrumented.
+// means uninstrumented. The hit counters and per-key gauges are
+// resolved once and cached.
 type instruments struct {
 	hits        *obs.CounterVec // hotc_pool_hits_total{kind}
 	misses      *obs.Counter    // hotc_pool_misses_total
@@ -16,6 +27,32 @@ type instruments struct {
 	quarantined *obs.Counter    // hotc_pool_quarantined_total
 	live        *obs.GaugeVec   // hotc_pool_live{key}
 	avail       *obs.GaugeVec   // hotc_pool_available{key}
+
+	hitsExact   *obs.Counter // hotc_pool_hits_total{kind="exact"}
+	hitsRelaxed *obs.Counter // hotc_pool_hits_total{kind="relaxed"}
+
+	mu   sync.RWMutex
+	keys map[config.Key]*keyGauges
+}
+
+// forKey returns the cached gauges for one runtime key, resolving them
+// on first sight.
+func (ins *instruments) forKey(key config.Key) *keyGauges {
+	ins.mu.RLock()
+	g := ins.keys[key]
+	ins.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	if g := ins.keys[key]; g != nil {
+		return g
+	}
+	k := string(key)
+	g = &keyGauges{live: ins.live.With(k), avail: ins.avail.With(k)}
+	ins.keys[key] = g
+	return g
 }
 
 // Instrument registers the pool's metric families on the registry and
@@ -26,7 +63,7 @@ func (p *Pool) Instrument(reg *obs.Registry) {
 		p.obs = nil
 		return
 	}
-	p.obs = &instruments{
+	ins := &instruments{
 		hits: reg.CounterVec("hotc_pool_hits_total",
 			"Acquire calls served by a live runtime, by match kind (exact|relaxed).",
 			"kind"),
@@ -46,7 +83,11 @@ func (p *Pool) Instrument(reg *obs.Registry) {
 		avail: reg.GaugeVec("hotc_pool_available",
 			"Pool containers available for immediate reuse per runtime key.",
 			"key"),
+		keys: make(map[config.Key]*keyGauges),
 	}
+	ins.hitsExact = ins.hits.With("exact")
+	ins.hitsRelaxed = ins.hits.With("relaxed")
+	p.obs = ins
 }
 
 // syncKeyGauges refreshes the occupancy gauges for one runtime key.
@@ -54,7 +95,7 @@ func (p *Pool) syncKeyGauges(key config.Key) {
 	if p.obs == nil {
 		return
 	}
-	k := string(key)
-	p.obs.live.With(k).Set(float64(p.NumLive(key)))
-	p.obs.avail.With(k).Set(float64(p.NumAvail(key)))
+	g := p.obs.forKey(key)
+	g.live.Set(float64(p.NumLive(key)))
+	g.avail.Set(float64(p.NumAvail(key)))
 }

@@ -204,7 +204,7 @@ func (p *Pool) Acquire(spec container.Spec, done func(c *container.Container, re
 		}
 		p.stats.Hits++
 		if p.obs != nil {
-			p.obs.hits.With("exact").Inc()
+			p.obs.hitsExact.Inc()
 		}
 		p.syncKeyGauges(key)
 		done(c, true, config.Delta{}, nil)
@@ -219,7 +219,7 @@ func (p *Pool) Acquire(spec container.Spec, done func(c *container.Container, re
 				p.stats.Hits++
 				p.stats.RelaxedHits++
 				if p.obs != nil {
-					p.obs.hits.With("relaxed").Inc()
+					p.obs.hitsRelaxed.Inc()
 				}
 				p.syncKeyGauges(c.Key())
 				delta := spec.Runtime.DeltaFrom(c.Spec.Runtime)

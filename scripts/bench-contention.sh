@@ -1,0 +1,71 @@
+#!/bin/sh
+# Runs the hot-path contention benchmark suite (gateway sharding + obs
+# fast path) and writes the averaged results to BENCH_contention.json
+# at the repo root, alongside the fixed pre-sharding baseline so every
+# regenerated file carries its own before/after comparison.
+#
+#   BENCH_COUNT=5 scripts/bench-contention.sh   # more repetitions
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_contention.json
+COUNT="${BENCH_COUNT:-3}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench 'GatewayParallel|ObsHotPath' -benchmem \
+	-benchtime=1s -count "$COUNT" \
+	./internal/faas/live/ ./internal/obs/ | tee "$TMP"
+
+RESULTS="$(awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)        # strip the GOMAXPROCS suffix
+	if (!(name in seen)) { order[++k] = name; seen[name] = 1 }
+	n[name]++
+	ns[name] += $3
+	for (i = 4; i <= NF; i++) {
+		if ($i == "B/op")      b[name] += $(i-1)
+		if ($i == "allocs/op") a[name] += $(i-1)
+	}
+}
+END {
+	for (j = 1; j <= k; j++) {
+		name = order[j]
+		printf "    \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f}%s\n", \
+			name, ns[name]/n[name], b[name]/n[name], a[name]/n[name], (j < k ? "," : "")
+	}
+}' "$TMP")"
+
+GOVER="$(go env GOVERSION)"
+CPUS="$(go env GOMAXPROCS 2>/dev/null || echo unknown)"
+
+cat > "$OUT" <<EOF
+{
+  "generated_by": "scripts/bench-contention.sh",
+  "go": "$GOVER",
+  "benchtime": "1s",
+  "count": $COUNT,
+  "note": "e2e variants include the real watchdog TCP round trip (syscall-bound on small hosts); hotpath variants isolate the gateway bookkeeping the per-function sharding de-serializes.",
+  "results": {
+$RESULTS
+  },
+  "baseline_before_sharding": {
+    "note": "Seed tree (single gateway mutex, mutex-guarded obs series), 1-CPU Intel Xeon @ 2.10GHz, recorded 2026-08-05. hotpath bookkeeping loop measured against the pre-sharding globals.",
+    "results": {
+      "BenchmarkGatewayParallel/e2e_1workers_1fns": {"ns_per_op": 41028, "bytes_per_op": 14700, "allocs_per_op": 117},
+      "BenchmarkGatewayParallel/e2e_8workers_4fns": {"ns_per_op": 47172, "bytes_per_op": 14700, "allocs_per_op": 117},
+      "BenchmarkGatewayParallel/e2e_16workers_4fns": {"ns_per_op": 53669, "bytes_per_op": 14700, "allocs_per_op": 117},
+      "BenchmarkGatewayParallel/hotpath_1workers_1fns": {"ns_per_op": 527.3, "bytes_per_op": 8, "allocs_per_op": 1},
+      "BenchmarkGatewayParallel/hotpath_8workers_4fns": {"ns_per_op": 585.8, "bytes_per_op": 8, "allocs_per_op": 1},
+      "BenchmarkObsHotPath/counter_cached_handle": {"ns_per_op": 17.7, "bytes_per_op": 0, "allocs_per_op": 0},
+      "BenchmarkObsHotPath/counter_with_lookup": {"ns_per_op": 38.4, "bytes_per_op": 0, "allocs_per_op": 0},
+      "BenchmarkObsHotPath/gauge_cached_handle": {"ns_per_op": 18.1, "bytes_per_op": 0, "allocs_per_op": 0},
+      "BenchmarkObsHotPath/histogram_cached_handle": {"ns_per_op": 22.8, "bytes_per_op": 0, "allocs_per_op": 0},
+      "BenchmarkObsHotPath/histogram_with_lookup": {"ns_per_op": 44.6, "bytes_per_op": 0, "allocs_per_op": 0}
+    }
+  }
+}
+EOF
+
+echo "wrote $OUT"

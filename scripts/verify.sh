@@ -11,6 +11,11 @@ echo "== go test -race"
 go test -race ./...
 echo "== goroutine-leak check (live gateway)"
 HOTC_LEAKCHECK=1 go test -race -count=1 ./internal/faas/live/
+echo "== contention bench smoke (1 iteration)"
+# The contention suite's benchmarks (BenchmarkGatewayParallel,
+# BenchmarkObsHotPath) compile and run one iteration each so bit-rot in
+# the bench harness is caught here, not at measurement time.
+go test -run '^$' -bench 'GatewayParallel|ObsHotPath' -benchtime=1x ./internal/faas/live/ ./internal/obs/
 echo "== metric-name lint"
 ./scripts/lint-metrics.sh
 echo "verify: OK"
