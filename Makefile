@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-contention lint-metrics
+.PHONY: build test verify bench bench-contention bench-datapath lint-metrics
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,8 @@ bench:
 # written to BENCH_contention.json.
 bench-contention:
 	./scripts/bench-contention.sh
+
+# Data-path throughput suite: streaming vs []byte handlers, 1 KiB to
+# 4 MiB payloads, results written to BENCH_datapath.json.
+bench-datapath:
+	./scripts/bench-datapath.sh

@@ -44,6 +44,7 @@ func main() {
 		brkThresh = flag.Int("breaker-threshold", 5, "consecutive backend failures that open a function's circuit breaker (0 = disabled)")
 		brkOpen   = flag.Duration("breaker-open", 30*time.Second, "how long an open breaker fast-fails before probing again")
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		maxBody   = flag.Int64("max-body-size", 32<<20, "max request body bytes before HTTP 413 (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 		BreakerThreshold:   *brkThresh,
 		BreakerOpenFor:     *brkOpen,
 		EnablePprof:        *pprofOn,
+		MaxBodyBytes:       *maxBody,
 	})
 	if *preload {
 		for _, h := range live.Builtins() {
@@ -87,6 +89,9 @@ func main() {
 			*predName, *ctlEvery, *keepalive, *maxWarm)
 	} else {
 		fmt.Printf("adaptive control: off (keepalive=%v max-warm=%d still enforced)\n", *keepalive, *maxWarm)
+	}
+	if *maxBody > 0 {
+		fmt.Printf("request bodies: capped at %d bytes (413 past that)\n", *maxBody)
 	}
 	fmt.Println("management: GET/POST /system/functions, GET /system/stats, GET /system/predictions; invoke: POST /function/<name>")
 	fmt.Println("metrics: GET /metrics (Prometheus text exposition)")

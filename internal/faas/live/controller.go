@@ -259,7 +259,7 @@ func (g *Gateway) controlOnce(name string, now time.Time) {
 // the gateway stopped or the warm cap filled while it was booting.
 func (g *Gateway) prewarmOne(s *shard, fn Function) {
 	defer g.wg.Done()
-	inst, err := startInstance(fn)
+	inst, err := startInstance(fn, g.maxBody)
 	s.mu.Lock()
 	if s.ctl.booting > 0 {
 		s.ctl.booting--

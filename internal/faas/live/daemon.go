@@ -1,14 +1,19 @@
 package live
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+	"unicode/utf8"
 
 	"hotc/internal/obs"
 	"hotc/internal/predictor"
@@ -47,6 +52,10 @@ type PoolConfig struct {
 	// daemon mux. Off by default: profiling endpoints expose internals
 	// and should be opted into.
 	EnablePprof bool
+	// MaxBodyBytes bounds request bodies at the gateway and every
+	// watchdog (0 = unlimited): oversized requests get HTTP 413
+	// instead of ballooning a watchdog's memory.
+	MaxBodyBytes int64
 }
 
 // Daemon is the long-running HotC gateway server: the live gateway
@@ -75,27 +84,149 @@ type Daemon struct {
 // Builtin handler names deployable through the API.
 func Builtins() []string { return []string{"echo", "qr", "upper", "wordcount"} }
 
-func builtinHandler(name string) (Handler, error) {
+// builtinFunction resolves a builtin by name into its handler fields
+// (the caller fills in Name and ColdStart). echo, upper and wordcount
+// are streaming: they process the body chunk-wise through pooled
+// buffers and never hold the full payload. qr stays a []byte handler
+// deliberately — it keeps the pooled compat shim exercised on the
+// daemon path.
+func builtinFunction(name string) (Function, error) {
 	switch name {
 	case "echo":
-		return func(b []byte) ([]byte, error) { return b, nil }, nil
+		return Function{Stream: func(r io.Reader, w io.Writer) error {
+			_, err := copyPooled(w, r)
+			return err
+		}}, nil
 	case "upper":
-		return func(b []byte) ([]byte, error) { return []byte(strings.ToUpper(string(b))), nil }, nil
+		return Function{Stream: upperStream}, nil
 	case "wordcount":
-		return func(b []byte) ([]byte, error) {
-			return []byte(fmt.Sprintf("%d", len(strings.Fields(string(b))))), nil
-		}, nil
+		return Function{Stream: wordcountStream}, nil
 	case "qr":
-		return func(b []byte) ([]byte, error) {
+		return Function{Handler: func(b []byte) ([]byte, error) {
 			s := strings.TrimSpace(string(b))
 			if s == "" {
 				return nil, fmt.Errorf("empty input")
 			}
 			return []byte("QR(" + s + ")"), nil
-		}, nil
+		}}, nil
 	default:
-		return nil, fmt.Errorf("live: unknown builtin handler %q (have %v)", name, Builtins())
+		return Function{}, fmt.Errorf("live: unknown builtin handler %q (have %v)", name, Builtins())
 	}
+}
+
+// upperStream uppercases the body chunk-wise through a pooled buffer:
+// ASCII chunks (the common case) are rewritten in place with zero
+// allocations; chunks containing multi-byte runes fall back to
+// bytes.ToUpper, with an incomplete trailing rune carried into the
+// next read so no rune is ever split across a chunk boundary.
+func upperStream(r io.Reader, w io.Writer) error {
+	bp := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(bp)
+	buf := *bp
+	keep := 0
+	for {
+		n, err := r.Read(buf[keep:])
+		n += keep
+		keep = 0
+		chunk := buf[:n]
+		if err == nil {
+			// A trailing incomplete rune waits for its continuation
+			// bytes — even when it is all we have (tiny reads).
+			if tail := incompleteRuneTail(chunk); tail > 0 {
+				keep = tail
+				chunk = chunk[:n-tail]
+			}
+		}
+		if len(chunk) > 0 {
+			out := chunk
+			if asciiOnly(chunk) {
+				upperASCII(chunk)
+			} else {
+				out = bytes.ToUpper(chunk)
+			}
+			if _, werr := w.Write(out); werr != nil {
+				return werr
+			}
+		}
+		if keep > 0 {
+			copy(buf, buf[n-keep:n])
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// incompleteRuneTail reports how many trailing bytes of p form the
+// start of a UTF-8 rune whose continuation bytes have not arrived yet
+// (0 when p ends on a rune boundary or in bytes that can never
+// complete a rune).
+func incompleteRuneTail(p []byte) int {
+	for i := 1; i <= utf8.UTFMax && i <= len(p); i++ {
+		b := p[len(p)-i]
+		if b < utf8.RuneSelf {
+			return 0 // ASCII: a boundary
+		}
+		if b&0xC0 == 0xC0 { // leading byte of a multi-byte rune
+			var need int
+			switch {
+			case b&0xE0 == 0xC0:
+				need = 2
+			case b&0xF0 == 0xE0:
+				need = 3
+			case b&0xF8 == 0xF0:
+				need = 4
+			default:
+				return 0 // invalid lead byte: pass through as-is
+			}
+			if i < need {
+				return i // rune truncated at the chunk end
+			}
+			return 0
+		}
+		// 0b10xxxxxx continuation byte: keep scanning backwards.
+	}
+	return 0
+}
+
+func asciiOnly(p []byte) bool {
+	for _, b := range p {
+		if b >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
+func upperASCII(p []byte) {
+	for i, b := range p {
+		if 'a' <= b && b <= 'z' {
+			p[i] = b - ('a' - 'A')
+		}
+	}
+}
+
+// wordcountStream counts whitespace-separated words without ever
+// holding more than one token: a bufio scanner over a pooled buffer,
+// strconv.Itoa for the allocation-free reply.
+func wordcountStream(r io.Reader, w io.Writer) error {
+	bp := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(bp)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(*bp, bufio.MaxScanTokenSize)
+	sc.Split(bufio.ScanWords)
+	count := 0
+	for sc.Scan() {
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, strconv.Itoa(count))
+	return err
 }
 
 // NewDaemon wraps a reusing gateway with adaptive control, pool
@@ -107,6 +238,7 @@ func NewDaemon(cfg PoolConfig) *Daemon {
 		reg: obs.New(),
 	}
 	d.gw.Instrument(d.reg)
+	d.gw.SetMaxBodyBytes(cfg.MaxBodyBytes)
 	d.gw.EnableControl(ControlConfig{
 		Interval:        cfg.ControlInterval,
 		NewPredictor:    cfg.NewPredictor,
@@ -136,18 +268,16 @@ type DeploySpec struct {
 
 // Deploy registers a function from a spec.
 func (d *Daemon) Deploy(spec DeploySpec) error {
-	h, err := builtinHandler(spec.Handler)
+	fn, err := builtinFunction(spec.Handler)
 	if err != nil {
 		return err
 	}
 	if spec.ColdStartMs < 0 {
 		return fmt.Errorf("live: negative cold start")
 	}
-	if err := d.gw.Register(Function{
-		Name:      spec.Name,
-		Handler:   h,
-		ColdStart: time.Duration(spec.ColdStartMs) * time.Millisecond,
-	}); err != nil {
+	fn.Name = spec.Name
+	fn.ColdStart = time.Duration(spec.ColdStartMs) * time.Millisecond
+	if err := d.gw.Register(fn); err != nil {
 		return err
 	}
 	d.mu.Lock()

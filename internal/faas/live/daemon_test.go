@@ -346,11 +346,16 @@ func TestPredictorFactory(t *testing.T) {
 
 func TestBuiltinsListed(t *testing.T) {
 	for _, name := range Builtins() {
-		if _, err := builtinHandler(name); err != nil {
+		fn, err := builtinFunction(name)
+		if err != nil {
 			t.Errorf("builtin %q unavailable: %v", name, err)
+			continue
+		}
+		if fn.Handler == nil && fn.Stream == nil {
+			t.Errorf("builtin %q resolved to no handler", name)
 		}
 	}
-	if _, err := builtinHandler("nope"); err == nil {
+	if _, err := builtinFunction("nope"); err == nil {
 		t.Fatal("unknown builtin accepted")
 	}
 }

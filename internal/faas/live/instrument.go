@@ -29,6 +29,11 @@ type instruments struct {
 	ctlTicks    *obs.Counter  // hotc_ctl_ticks_total
 	poolRetired *obs.Counter  // hotc_pool_retired_total
 
+	// bodyBytes tracks response bytes streamed to clients, recorded
+	// from the copy loop's running count — the gateway never buffers a
+	// body just to measure it.
+	bodyBytes *obs.Histogram // hotc_gateway_body_bytes
+
 	// startsWarm/startsCold are the two children of starts, resolved
 	// once so the request path pays a single atomic add.
 	startsWarm *obs.Counter
@@ -115,6 +120,9 @@ func (g *Gateway) Instrument(reg *obs.Registry) {
 			"Control loop ticks executed."),
 		poolRetired: reg.Counter("hotc_pool_retired_total",
 			"Containers stopped by scale-down, cap eviction or keep-alive expiry."),
+		bodyBytes: reg.Histogram("hotc_gateway_body_bytes",
+			"Response bytes streamed through the gateway per request.",
+			obs.DefaultBodySizeBuckets()),
 	}
 	ins.startsWarm = ins.starts.With("warm")
 	ins.startsCold = ins.starts.With("cold")

@@ -42,6 +42,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,15 +51,27 @@ import (
 	"hotc/internal/faas"
 )
 
-// Handler is the function body: bytes in, bytes out.
+// Handler is the buffered function body: bytes in, bytes out. The
+// watchdog runs it through a pooled-buffer shim, so existing []byte
+// handlers ride the streaming data path unchanged.
 type Handler func(body []byte) ([]byte, error)
+
+// StreamHandler is the streaming function body: consume the request
+// from r, produce the response on w. Handlers that can work chunk-wise
+// never hold the full payload in memory — the watchdog wires both ends
+// straight to the socket.
+type StreamHandler func(r io.Reader, w io.Writer) error
 
 // Function describes a deployable function.
 type Function struct {
 	// Name routes requests: the gateway serves it at /function/<name>.
 	Name string
-	// Handler is the business logic.
+	// Handler is the buffered business logic. Ignored when Stream is
+	// set.
 	Handler Handler
+	// Stream, when set, takes precedence over Handler and processes the
+	// body as a stream instead of a buffered slice.
+	Stream StreamHandler
 	// ColdStart is the artificial boot delay a fresh instance pays
 	// (container create + runtime init + app init).
 	ColdStart time.Duration
@@ -76,7 +89,7 @@ type instance struct {
 	idleSince time.Time
 }
 
-func startInstance(fn Function) (*instance, error) {
+func startInstance(fn Function, maxBody int64) (*instance, error) {
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("live: watchdog listen: %w", err)
@@ -84,24 +97,67 @@ func startInstance(fn Function) (*instance, error) {
 	inst := &instance{fn: fn, lis: lis, addr: lis.Addr().String()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		body, err := io.ReadAll(r.Body)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		out, err := fn.Handler(body)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.WriteHeader(http.StatusOK)
-		w.Write(out)
+		serveFunction(w, r, fn, maxBody)
 	})
 	inst.server = &http.Server{Handler: mux}
 	go inst.server.Serve(lis)
 	// The cold start: container boot, runtime init, business init.
 	time.Sleep(fn.ColdStart)
 	return inst, nil
+}
+
+// serveFunction is the watchdog request handler. Streaming bodies run
+// directly against the socket; []byte handlers go through the pooled
+// compat shim, which replaces the old per-request io.ReadAll with a
+// recycled whole-body buffer. maxBody > 0 bounds the request body
+// (HTTP 413 on overflow) so one request can never balloon the
+// watchdog's memory.
+func serveFunction(w http.ResponseWriter, r *http.Request, fn Function, maxBody int64) {
+	body := r.Body
+	if maxBody > 0 {
+		body = http.MaxBytesReader(w, body, maxBody)
+	}
+	if fn.Stream != nil {
+		// A streaming handler reads the request while writing the
+		// response; without full duplex the HTTP/1.1 server aborts
+		// body reads at the first response write. Writers that don't
+		// support it (tests' fakes) just stay half-duplex.
+		http.NewResponseController(w).EnableFullDuplex()
+		tw := &trackWriter{w: w}
+		if err := fn.Stream(body, tw); err != nil && tw.n == 0 {
+			// Nothing committed yet: a real status line is still
+			// possible. After first byte, all we can do is truncate.
+			if isMaxBytesErr(err) {
+				http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			} else {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}
+		return
+	}
+	buf := getBodyBuf()
+	if _, err := buf.ReadFrom(body); err != nil {
+		putBodyBuf(buf)
+		if isMaxBytesErr(err) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	out, err := fn.Handler(buf.Bytes())
+	if err != nil {
+		putBodyBuf(buf)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Declare the length so the gateway can forward it instead of
+	// chunking. The buffer recycles only after the write: echo-style
+	// handlers return slices aliasing it.
+	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(out)
+	putBodyBuf(buf)
 }
 
 func (i *instance) stop() {
@@ -229,6 +285,11 @@ type Gateway struct {
 	breakerThreshold int
 	breakerOpenFor   time.Duration
 
+	// maxBody bounds request bodies at the gateway and every watchdog
+	// it boots (see SetMaxBodyBytes). Written before traffic, read-only
+	// afterwards; 0 = unlimited.
+	maxBody int64
+
 	// obs is the optional metric hookup (see Instrument), read
 	// lock-free on the request path.
 	obs atomic.Pointer[instruments]
@@ -304,7 +365,7 @@ func (g *Gateway) newShardLocked(name string) *shard {
 // the adaptive control loop immediately; re-registering a name swaps
 // the handler in place.
 func (g *Gateway) Register(fn Function) error {
-	if fn.Name == "" || fn.Handler == nil {
+	if fn.Name == "" || (fn.Handler == nil && fn.Stream == nil) {
 		return fmt.Errorf("live: function needs a name and a handler")
 	}
 	g.smu.Lock()
@@ -445,12 +506,18 @@ func (g *Gateway) acquire(s *shard) (*instance, bool, error) {
 	s.stats.Requests++
 	s.mu.Unlock()
 
-	inst, err := startInstance(fn) // cold boot outside the lock
+	inst, err := startInstance(fn, g.maxBody) // cold boot outside the lock
 	if err != nil {
 		g.decInFlight(s)
 	}
 	return inst, false, err
 }
+
+// SetMaxBodyBytes bounds request bodies at the gateway and every
+// watchdog booted afterwards: oversized requests get HTTP 413 instead
+// of ballooning a watchdog. Call before Start; 0 (the default) leaves
+// bodies unbounded.
+func (g *Gateway) SetMaxBodyBytes(n int64) { g.maxBody = n }
 
 // decInFlight ends a request's demand accounting.
 func (g *Gateway) decInFlight(s *shard) {
@@ -517,6 +584,18 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Bound the request body before any instance is committed: a
+	// declared-oversize body is rejected for free here; an undeclared
+	// (chunked) one is caught by MaxBytesReader mid-proxy below.
+	if g.maxBody > 0 {
+		if r.ContentLength > g.maxBody {
+			s.observe("rejected", start)
+			http.Error(w, "live: request body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, g.maxBody)
+	}
+
 	// While the breaker is open, fast-fail instead of piling boots onto
 	// a failing backend.
 	if !g.breakerAllow(s) {
@@ -533,27 +612,65 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Forward to the watchdog over a real socket. A transport failure
-	// makes the instance suspect: tear it down rather than re-pool it.
+	// Forward to the watchdog over a real socket, streaming the request
+	// body straight through. A transport failure makes the instance
+	// suspect: tear it down rather than re-pool it — unless the failure
+	// was the client's own oversized body tripping MaxBytesReader,
+	// which must not feed the breaker.
 	resp, err := g.client.Post("http://"+inst.addr+"/", "application/octet-stream", r.Body)
 	if err != nil {
 		g.discard(s, inst)
+		if isMaxBytesErr(err) {
+			s.observe("rejected", start)
+			http.Error(w, "live: request body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
 		g.breakerFailure(s, "proxy.failures")
 		s.observe("error", start)
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
+
+	// Forward the watchdog's response headers (Content-Type etc.) and
+	// length before committing the status line, then stream the body to
+	// the client through a pooled chunk buffer: the gateway never holds
+	// more than one 32 KiB chunk of any response in memory, and at
+	// steady state the copy allocates nothing. Streaming functions
+	// produce response bytes while the request body is still being
+	// forwarded, so the gateway's own server must run full duplex —
+	// otherwise its first response write aborts the client's body reads
+	// and truncates the upstream request.
+	http.NewResponseController(w).EnableFullDuplex()
+	hdr := w.Header()
+	for k, vv := range resp.Header {
+		for _, v := range vv {
+			hdr.Add(k, v)
+		}
+	}
+	hdr.Set("X-Hotc-Reused", strconv.FormatBool(reused))
+	if resp.ContentLength >= 0 {
+		hdr.Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
+	}
+	w.WriteHeader(resp.StatusCode)
+	src := readTracker{r: resp.Body}
+	n, copyErr := copyPooled(w, &src)
+	if copyErr != nil && src.failed {
+		// The watchdog died mid-stream. The status line is already
+		// committed, so the client sees a truncated body; the instance
+		// is suspect and its connection poisoned — close without
+		// draining and tear it down.
+		resp.Body.Close()
 		g.discard(s, inst)
 		g.breakerFailure(s, "proxy.failures")
 		s.observe("error", start)
-		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	// The round-trip worked; a handler-level error status is the
-	// function's business, not a runtime fault.
+	// The round-trip worked (a handler-level error status is the
+	// function's business, not a runtime fault) — or only the client's
+	// write side failed, which the watchdog cannot be blamed for.
+	// Drain whatever the client refused so the keep-alive connection
+	// returns to the idle pool clean, then re-pool the instance.
+	drainClose(resp.Body)
 	g.release(s, inst)
 	g.breakerSuccess(s)
 	outcome := "ok"
@@ -566,17 +683,7 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 		} else {
 			ins.startsCold.Inc()
 		}
+		ins.bodyBytes.Observe(float64(n))
 	}
 	s.observe(outcome, start)
-	// Forward the watchdog's response headers (Content-Type etc.)
-	// before committing the status line, then the gateway's own.
-	hdr := w.Header()
-	for k, vv := range resp.Header {
-		for _, v := range vv {
-			hdr.Add(k, v)
-		}
-	}
-	hdr.Set("X-Hotc-Reused", fmt.Sprintf("%v", reused))
-	w.WriteHeader(resp.StatusCode)
-	w.Write(body)
 }

@@ -83,6 +83,59 @@ func TestTransportReusesWatchdogConnections(t *testing.T) {
 	}
 }
 
+// Connection reuse must survive the error path too: a handler that
+// always fails produces watchdog 500s, and the gateway must fully
+// drain each error body before releasing the connection — otherwise
+// the transport abandons it and every failed request dials anew.
+func TestTransportReusesConnectionsOnErrorPath(t *testing.T) {
+	g := NewGateway(true)
+	dials := countDials(g)
+	if err := g.Register(Function{
+		Name:    "f",
+		Handler: func(b []byte) ([]byte, error) { return nil, fmt.Errorf("boom") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	var wrongStatus atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				req := httptest.NewRequest("POST", "/function/f", strings.NewReader("x"))
+				rec := httptest.NewRecorder()
+				g.handle(rec, req)
+				if rec.Code != 500 {
+					wrongStatus.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := wrongStatus.Load(); n > 0 {
+		t.Fatalf("%d requests did not surface the handler's 500", n)
+	}
+
+	st := g.Stats()
+	if st.Requests != workers*perWorker {
+		t.Fatalf("Requests = %d, want %d", st.Requests, workers*perWorker)
+	}
+	// A handler error is the function's fault, not the instance's: the
+	// instance must return to the warm pool, so later requests reuse it.
+	if st.Reused == 0 {
+		t.Fatal("no instance reuse across handler errors: error responses must release, not discard")
+	}
+	limit := int64(st.ColdStarts + 2*workers)
+	if got := dials.Load(); got > limit {
+		t.Fatalf("transport dialed %d times for %d failing requests over %d instances (limit %d): error bodies are not drained before release",
+			got, st.Requests, st.ColdStarts, limit)
+	}
+}
+
 // Aggregate snapshots must not stop the world: Stats, warm counts,
 // resilience counters, warm ages and prediction traces are hammered
 // while request traffic flows. Run under -race; the assertions are

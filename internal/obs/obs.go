@@ -86,6 +86,11 @@ func ExponentialBuckets(start, factor float64, n int) []float64 {
 // starts on the edge profile.
 func DefaultLatencyBucketsMS() []float64 { return ExponentialBuckets(1, 2, 17) }
 
+// DefaultBodySizeBuckets is the standard payload-size layout: 64 B
+// growing 4x to 16 MiB, covering tiny control messages through the
+// multi-megabyte streams the gateway's data path is sized for.
+func DefaultBodySizeBuckets() []float64 { return ExponentialBuckets(64, 4, 10) }
+
 // Registry is a concurrency-safe collection of metric families.
 // Registration is get-or-create: asking twice for the same name with a
 // compatible shape returns the same family, so independent subsystems

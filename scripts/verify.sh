@@ -16,6 +16,13 @@ echo "== contention bench smoke (1 iteration)"
 # BenchmarkObsHotPath) compile and run one iteration each so bit-rot in
 # the bench harness is caught here, not at measurement time.
 go test -run '^$' -bench 'GatewayParallel|ObsHotPath' -benchtime=1x ./internal/faas/live/ ./internal/obs/
+echo "== data-path bench smoke (1 iteration)"
+go test -run '^$' -bench 'GatewayThroughput' -benchtime=1x ./internal/faas/live/
+echo "== zero-alloc regression guard (non-race: AllocsPerRun)"
+# The race run above skips these: the detector's instrumentation
+# perturbs allocation counts. This non-race pass asserts the pooled
+# copy and the []byte shim stay at zero heap allocations per request.
+go test -run 'ZeroAlloc' -count=1 ./internal/faas/live/
 echo "== metric-name lint"
 ./scripts/lint-metrics.sh
 echo "verify: OK"
