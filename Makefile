@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-contention bench-datapath lint-metrics
+.PHONY: build test verify bench bench-contention bench-datapath bench-saturation lint-metrics
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,8 @@ bench-contention:
 # 4 MiB payloads, results written to BENCH_datapath.json.
 bench-datapath:
 	./scripts/bench-datapath.sh
+
+# Overload suite: open-loop saturation sweep (hotc-load) with and
+# without admission control, results written to BENCH_saturation.json.
+bench-saturation:
+	./scripts/bench-saturation.sh

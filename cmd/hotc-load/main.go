@@ -1,0 +1,332 @@
+// Command hotc-load is an open-loop load generator for the HotC live
+// gateway: it fires requests at a fixed arrival rate regardless of how
+// fast responses come back (the arrival process does not slow down
+// when the server does, which is what makes saturation visible), and
+// reports goodput, rejection mix and latency percentiles as JSON.
+//
+// Against a running daemon:
+//
+//	hotc-load -target http://127.0.0.1:8080 -function sleep -rate 400 -duration 10s
+//
+// Self-hosted (boots an in-process daemon on a loopback socket — the
+// data path is still real TCP):
+//
+//	hotc-load -rate 800 -duration 5s -max-inflight 8 -queue-depth 16
+//
+// Tenants split the arrival stream by share, e.g. an abusive tenant
+// and a steady one:
+//
+//	hotc-load -tenants burst:3,steady:1 -deadline-ms 250 ...
+//
+// Exit status is non-zero when an -assert-* bound is violated, so CI
+// can use a short run as a smoke test.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hotc/internal/faas/live"
+)
+
+type tenantShare struct {
+	name  string
+	share int
+}
+
+// result is the JSON report. Fractions are of sent requests; goodput
+// counts 2xx only.
+type result struct {
+	Target       string             `json:"target"`
+	Function     string             `json:"function"`
+	RateRPS      float64            `json:"rate_rps"`
+	DurationS    float64            `json:"duration_s"`
+	Sent         int64              `json:"sent"`
+	ClientDrops  int64              `json:"client_drops"`
+	Status       map[string]int64   `json:"status"`
+	GoodputRPS   float64            `json:"goodput_rps"`
+	OKFraction   float64            `json:"ok_fraction"`
+	RejectedFrac float64            `json:"rejected_fraction"`
+	FivexxFrac   float64            `json:"fivexx_fraction"`
+	RetryAfter   int64              `json:"retry_after_present"`
+	LatencyMS    map[string]float64 `json:"latency_ms"`
+	Tenants      map[string]*tstats `json:"tenants,omitempty"`
+	WarmAtEnd    int                `json:"warm_instances_at_end,omitempty"`
+}
+
+type tstats struct {
+	Sent     int64 `json:"sent"`
+	OK       int64 `json:"ok"`
+	Rejected int64 `json:"rejected"`
+}
+
+func main() {
+	var (
+		target     = flag.String("target", "", "base URL of a running hotcd; empty self-hosts a daemon on a loopback socket")
+		function   = flag.String("function", "sleep", "function to invoke")
+		handler    = flag.String("deploy-handler", "sleep", "builtin handler to deploy as -function before the run (empty = skip deploy)")
+		coldMs     = flag.Int("cold-start-ms", 25, "deploy-time simulated cold start")
+		rate       = flag.Float64("rate", 200, "open-loop arrival rate, requests/second")
+		duration   = flag.Duration("duration", 5*time.Second, "how long to generate load")
+		body       = flag.String("body", "20", "request body (for the sleep builtin: service time in ms)")
+		tenantsArg = flag.String("tenants", "", "name:share pairs splitting arrivals, e.g. burst:3,steady:1")
+		deadlineMs = flag.Int("deadline-ms", 0, "X-Hotc-Deadline-Ms header on every request (0 = none)")
+		outFile    = flag.String("out", "", "write the JSON report here instead of stdout")
+		maxOut     = flag.Int("max-outstanding", 4096, "client-side cap on concurrent requests; arrivals past it are dropped and counted")
+		// Self-hosted daemon knobs (ignored with -target).
+		maxInFl   = flag.Int("max-inflight", 8, "self-hosted: per-function in-flight cap (0 = admission off)")
+		queueLen  = flag.Int("queue-depth", 16, "self-hosted: per-tenant queue depth")
+		defDeadl  = flag.Duration("default-deadline", 0, "self-hosted: default request deadline")
+		memBudget = flag.Int64("memory-budget", 0, "self-hosted: warm-memory budget in bytes")
+		// CI assertions.
+		assertMinOK  = flag.Float64("assert-min-ok", -1, "exit 1 if ok_fraction falls below this (-1 = off)")
+		assertMax5xx = flag.Float64("assert-max-5xx", -1, "exit 1 if fivexx_fraction exceeds this (-1 = off)")
+	)
+	flag.Parse()
+
+	tenants, err := parseTenants(*tenantsArg)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := *target
+	var daemon *live.Daemon
+	if base == "" {
+		daemon = live.NewDaemon(live.PoolConfig{
+			MaxInFlight:     *maxInFl,
+			QueueDepth:      *queueLen,
+			DefaultDeadline: *defDeadl,
+			MemoryBudget:    *memBudget,
+		})
+		base, err = daemon.StartOn("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		defer daemon.Stop()
+	}
+	if *handler != "" {
+		deploy(base, *function, *handler, *coldMs)
+	}
+
+	res := run(base, *function, *body, tenants, *rate, *duration, *deadlineMs, *maxOut)
+	if daemon != nil {
+		res.WarmAtEnd = daemon.WarmInstances(*function)
+		res.Target = "self-hosted " + base
+	}
+
+	enc, _ := json.MarshalIndent(res, "", "  ")
+	enc = append(enc, '\n')
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hotc-load: wrote %s (ok=%.3f rejected=%.3f 5xx=%.3f goodput=%.1f/s)\n",
+			*outFile, res.OKFraction, res.RejectedFrac, res.FivexxFrac, res.GoodputRPS)
+	} else {
+		os.Stdout.Write(enc)
+	}
+
+	if *assertMinOK >= 0 && res.OKFraction < *assertMinOK {
+		fatal(fmt.Errorf("ok_fraction %.3f below asserted minimum %.3f", res.OKFraction, *assertMinOK))
+	}
+	if *assertMax5xx >= 0 && res.FivexxFrac > *assertMax5xx {
+		fatal(fmt.Errorf("fivexx_fraction %.3f above asserted maximum %.3f", res.FivexxFrac, *assertMax5xx))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hotc-load:", err)
+	os.Exit(1)
+}
+
+func parseTenants(s string) ([]tenantShare, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []tenantShare
+	for _, part := range strings.Split(s, ",") {
+		name, shareStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		share := 1
+		if ok {
+			n, err := strconv.Atoi(shareStr)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad tenant share %q (want name:positive-int)", part)
+			}
+			share = n
+		}
+		if name == "" {
+			return nil, fmt.Errorf("bad tenant spec %q", part)
+		}
+		out = append(out, tenantShare{name, share})
+	}
+	return out, nil
+}
+
+func deploy(base, name, handler string, coldMs int) {
+	spec := fmt.Sprintf(`{"name":%q,"handler":%q,"coldStartMs":%d}`, name, handler, coldMs)
+	resp, err := http.Post(base+"/system/functions", "application/json", strings.NewReader(spec))
+	if err != nil {
+		fatal(fmt.Errorf("deploy %s: %w", name, err))
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	// An already-deployed function (409/400 from a previous run) is
+	// fine; anything else would surface as request failures below.
+}
+
+// run fires the open-loop arrival schedule: request i departs at
+// start + i/rate, no matter what happened to requests 0..i-1.
+func run(base, function, body string, tenants []tenantShare, rate float64, duration time.Duration, deadlineMs, maxOut int) *result {
+	var (
+		mu        sync.Mutex
+		status    = map[string]int64{}
+		latencies []float64
+		perTenant = map[string]*tstats{}
+		retryHdr  atomic.Int64
+		drops     atomic.Int64
+		sent      atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for _, t := range tenants {
+		perTenant[t.name] = &tstats{}
+	}
+	// Weighted round-robin tenant assignment: deterministic, exact
+	// shares over every full cycle.
+	var cycle []string
+	for _, t := range tenants {
+		for i := 0; i < t.share; i++ {
+			cycle = append(cycle, t.name)
+		}
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: maxOut}}
+	sem := make(chan struct{}, maxOut)
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	url := base + "/function/" + function
+
+	for i := 0; ; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if due.Sub(start) >= duration {
+			break
+		}
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			drops.Add(1) // client saturated: still open-loop, the arrival is counted as lost
+			continue
+		}
+		tenant := ""
+		if len(cycle) > 0 {
+			tenant = cycle[i%len(cycle)]
+		}
+		sent.Add(1)
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			req, _ := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+			if tenant != "" {
+				req.Header.Set("X-Hotc-Tenant", tenant)
+			}
+			if deadlineMs > 0 {
+				req.Header.Set("X-Hotc-Deadline-Ms", strconv.Itoa(deadlineMs))
+			}
+			t0 := time.Now()
+			resp, err := client.Do(req)
+			if err != nil {
+				mu.Lock()
+				status["transport_error"]++
+				mu.Unlock()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			elapsed := time.Since(t0)
+			if resp.Header.Get("Retry-After") != "" {
+				retryHdr.Add(1)
+			}
+			mu.Lock()
+			status[strconv.Itoa(resp.StatusCode)]++
+			if resp.StatusCode < 300 {
+				latencies = append(latencies, float64(elapsed.Microseconds())/1000)
+			}
+			if ts := perTenant[tenant]; ts != nil {
+				ts.Sent++
+				switch {
+				case resp.StatusCode < 300:
+					ts.OK++
+				case resp.StatusCode == http.StatusTooManyRequests:
+					ts.Rejected++
+				}
+			}
+			mu.Unlock()
+		}(tenant)
+	}
+	wg.Wait()
+
+	res := &result{
+		Target:      base,
+		Function:    function,
+		RateRPS:     rate,
+		DurationS:   duration.Seconds(),
+		Sent:        sent.Load(),
+		ClientDrops: drops.Load(),
+		Status:      status,
+		RetryAfter:  retryHdr.Load(),
+		LatencyMS:   percentiles(latencies),
+	}
+	if len(perTenant) > 0 {
+		res.Tenants = perTenant
+	}
+	var ok, rejected, fivexx int64
+	for code, n := range status {
+		c, _ := strconv.Atoi(code)
+		switch {
+		case c >= 200 && c < 300:
+			ok += n
+		case c == http.StatusTooManyRequests:
+			rejected += n
+		case c >= 500:
+			fivexx += n
+		}
+	}
+	if res.Sent > 0 {
+		res.OKFraction = float64(ok) / float64(res.Sent)
+		res.RejectedFrac = float64(rejected) / float64(res.Sent)
+		res.FivexxFrac = float64(fivexx) / float64(res.Sent)
+	}
+	res.GoodputRPS = float64(ok) / duration.Seconds()
+	return res
+}
+
+func percentiles(ms []float64) map[string]float64 {
+	if len(ms) == 0 {
+		return map[string]float64{}
+	}
+	sort.Float64s(ms)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(ms)-1))
+		return ms[i]
+	}
+	round := func(v float64) float64 { return float64(int(v*100)) / 100 }
+	return map[string]float64{
+		"p50": round(at(0.50)),
+		"p90": round(at(0.90)),
+		"p99": round(at(0.99)),
+		"max": round(ms[len(ms)-1]),
+	}
+}

@@ -45,6 +45,10 @@ func main() {
 		brkOpen   = flag.Duration("breaker-open", 30*time.Second, "how long an open breaker fast-fails before probing again")
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		maxBody   = flag.Int64("max-body-size", 32<<20, "max request body bytes before HTTP 413 (0 = unlimited)")
+		maxInFl   = flag.Int("max-inflight", 128, "max concurrently executing requests per function; excess queues for admission (0 = admission control off)")
+		queueLen  = flag.Int("queue-depth", 256, "max queued requests per tenant per function before 429 + Retry-After")
+		deadline  = flag.Duration("default-deadline", 0, "deadline applied to requests without an X-Hotc-Deadline-Ms header: queued requests past it are shed with 429, in-flight backend work is canceled (0 = none)")
+		memBudget = flag.Int64("memory-budget", 0, "estimated warm-instance memory budget in bytes across all functions; the janitor reclaims from the biggest holders first (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -65,6 +69,10 @@ func main() {
 		BreakerOpenFor:     *brkOpen,
 		EnablePprof:        *pprofOn,
 		MaxBodyBytes:       *maxBody,
+		MaxInFlight:        *maxInFl,
+		QueueDepth:         *queueLen,
+		DefaultDeadline:    *deadline,
+		MemoryBudget:       *memBudget,
 	})
 	if *preload {
 		for _, h := range live.Builtins() {
@@ -92,6 +100,15 @@ func main() {
 	}
 	if *maxBody > 0 {
 		fmt.Printf("request bodies: capped at %d bytes (413 past that)\n", *maxBody)
+	}
+	if *maxInFl > 0 {
+		fmt.Printf("admission: max-inflight=%d queue-depth=%d default-deadline=%v (tenant via X-Hotc-Tenant, deadline via X-Hotc-Deadline-Ms)\n",
+			*maxInFl, *queueLen, *deadline)
+	} else {
+		fmt.Println("admission: off (-max-inflight 0)")
+	}
+	if *memBudget > 0 {
+		fmt.Printf("warm memory budget: %d bytes (janitor reclaims biggest holders past it)\n", *memBudget)
 	}
 	fmt.Println("management: GET/POST /system/functions, GET /system/stats, GET /system/predictions; invoke: POST /function/<name>")
 	fmt.Println("metrics: GET /metrics (Prometheus text exposition)")

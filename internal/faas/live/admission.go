@@ -1,0 +1,358 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"hotc/internal/admission"
+)
+
+// The overload-control request headers. Tenants tag their traffic so
+// fair queuing can tell them apart; deadlines bound how long a request
+// may queue and execute before shedding beats serving.
+const (
+	// TenantHeader names the tenant a request bills to. Untagged
+	// requests bill to the function itself, so fairness degrades to
+	// per-function instead of collapsing to one shared bucket.
+	TenantHeader = "X-Hotc-Tenant"
+	// DeadlineHeader carries the request's end-to-end deadline in
+	// milliseconds from arrival, overriding the gateway's default
+	// (0 = explicitly no deadline).
+	DeadlineHeader = "X-Hotc-Deadline-Ms"
+	// RejectedHeader reports why an admission-rejected request was
+	// refused (queue_full, deadline, stopped).
+	RejectedHeader = "X-Hotc-Rejected"
+)
+
+// defaultInstanceMemBytes is the per-warm-instance memory estimate the
+// budget reclaim uses when the caller does not supply one: 64 MiB, the
+// order of a small language runtime's RSS.
+const defaultInstanceMemBytes = 64 << 20
+
+// AdmissionConfig arms the gateway's overload-control tier (see
+// internal/admission): bounded per-tenant queues in front of the warm
+// pool, deadline-aware shedding, weighted fair dispatch, and a warm-
+// memory budget the janitor enforces by reclaiming from the biggest
+// consumers first.
+type AdmissionConfig struct {
+	// MaxInFlight caps concurrently executing requests per function.
+	// <= 0 disables admission control entirely: no queue, no caps
+	// (deadline propagation still applies).
+	MaxInFlight int
+	// QueueDepth caps waiting requests per tenant per function; past
+	// it arrivals are rejected with 429 + Retry-After. <= 0 with a
+	// finite MaxInFlight rejects everything beyond the in-flight cap.
+	QueueDepth int
+	// DefaultDeadline is applied to requests that do not carry
+	// DeadlineHeader (0 = none). The deadline sheds queued requests
+	// whose time has passed and cancels in-flight backend work.
+	DefaultDeadline time.Duration
+	// TenantWeights sets fair-dispatch quanta per tenant name;
+	// unlisted tenants weigh 1.
+	TenantWeights map[string]int
+	// MemoryBudget bounds the estimated memory of all warm instances
+	// across functions, in bytes (0 = unlimited). When exceeded the
+	// janitor reclaims warm capacity from the most over-quota
+	// functions first, oldest instances first.
+	MemoryBudget int64
+	// InstanceMemBytes is the per-instance memory estimate backing the
+	// budget (default 64 MiB).
+	InstanceMemBytes int64
+}
+
+// EnableAdmission configures overload control. Call before Start, like
+// EnableBreaker; functions registered before or after all get their
+// admission queue.
+func (g *Gateway) EnableAdmission(cfg AdmissionConfig) {
+	if cfg.MemoryBudget > 0 && cfg.InstanceMemBytes <= 0 {
+		cfg.InstanceMemBytes = defaultInstanceMemBytes
+	}
+	g.smu.Lock()
+	defer g.smu.Unlock()
+	g.adm = cfg
+	if cfg.MaxInFlight > 0 {
+		for _, s := range g.shards {
+			if s.adm == nil {
+				s.adm = g.newAdmissionQueueLocked(s)
+			}
+		}
+	}
+}
+
+// newAdmissionQueueLocked builds one shard's admission queue, wiring
+// its occupancy hooks to the shard's (swap-on-Instrument) gauges.
+// Caller holds smu.
+func (g *Gateway) newAdmissionQueueLocked(s *shard) *admission.Queue {
+	return admission.New(admission.Config{
+		MaxInFlight: g.adm.MaxInFlight,
+		QueueDepth:  g.adm.QueueDepth,
+		Weights:     g.adm.TenantWeights,
+		Now:         func() time.Time { return g.nowFn() },
+		OnQueueDepth: func(n int) {
+			if m := s.m.Load(); m != nil {
+				m.admDepth.Set(float64(n))
+			}
+		},
+		OnInFlight: func(n int) {
+			if m := s.m.Load(); m != nil {
+				m.admInFlight.Set(float64(n))
+			}
+		},
+	})
+}
+
+// requestDeadline resolves a request's absolute deadline: the
+// DeadlineHeader override when present, else the configured default;
+// zero time means none.
+func (g *Gateway) requestDeadline(r *http.Request, start time.Time) (time.Time, error) {
+	d := g.adm.DefaultDeadline
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms < 0 {
+			return time.Time{}, fmt.Errorf("live: bad %s %q (want non-negative milliseconds)", DeadlineHeader, h)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d <= 0 {
+		return time.Time{}, nil
+	}
+	return start.Add(d), nil
+}
+
+// admit runs the request through the shard's admission queue (a no-op
+// pass when admission is off). It either returns a ticket — whose Done
+// the caller must arrange — or writes the refusal response itself and
+// returns nil.
+func (g *Gateway) admit(w http.ResponseWriter, r *http.Request, s *shard, tenant string, deadline time.Time, start time.Time) *admission.Ticket {
+	if s.adm == nil {
+		return nil
+	}
+	ticket, rej := s.adm.Acquire(r.Context(), tenant, deadline)
+	if rej == nil {
+		if m := s.m.Load(); m != nil {
+			m.admWait.ObserveDuration(ticket.Waited())
+		}
+		return ticket
+	}
+	if ins := g.obs.Load(); ins != nil {
+		ins.admRejected.With(s.name, string(rej.Reason)).Inc()
+	}
+	if rej.Reason == admission.ReasonCanceled {
+		// The client hung up while queued; nobody is listening for a
+		// status line.
+		s.countCanceled()
+		s.observe("canceled", start)
+		return nil
+	}
+	status := http.StatusTooManyRequests
+	if rej.Reason == admission.ReasonStopped {
+		status = http.StatusServiceUnavailable
+	}
+	if rej.RetryAfter > 0 {
+		setRetryAfter(w, rej.RetryAfter)
+	}
+	w.Header().Set(RejectedHeader, string(rej.Reason))
+	http.Error(w, fmt.Sprintf("live: overloaded (%s) for %q", rej.Reason, s.name), status)
+	s.observe("rejected", start)
+	return nil
+}
+
+// setRetryAfter writes a whole-seconds Retry-After header, always at
+// least 1 so the hint is actionable.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// AdmissionStats snapshots every function's admission queue (empty map
+// when admission is off).
+func (g *Gateway) AdmissionStats() map[string]admission.Stats {
+	out := make(map[string]admission.Stats)
+	for _, s := range g.snapshotShards() {
+		if s.adm != nil {
+			out[s.name] = s.adm.Snapshot()
+		}
+	}
+	return out
+}
+
+// WarmMemoryStats reports the estimated warm-instance memory footprint
+// against the configured budget (both zero when no budget is set).
+type WarmMemoryStats struct {
+	BudgetBytes int64 `json:"budgetBytes"`
+	WarmBytes   int64 `json:"warmBytes"`
+	// Reclaimed counts instances evicted by budget pressure.
+	Reclaimed int `json:"reclaimed"`
+}
+
+// WarmMemory snapshots the memory-budget accounting.
+func (g *Gateway) WarmMemory() WarmMemoryStats {
+	if g.adm.MemoryBudget <= 0 {
+		return WarmMemoryStats{}
+	}
+	total := 0
+	for _, s := range g.snapshotShards() {
+		s.mu.Lock()
+		total += len(s.idle)
+		s.mu.Unlock()
+	}
+	return WarmMemoryStats{
+		BudgetBytes: g.adm.MemoryBudget,
+		WarmBytes:   int64(total) * g.adm.InstanceMemBytes,
+		Reclaimed:   int(g.memReclaimed.Load()),
+	}
+}
+
+// reclaimMemoryOnce enforces the warm-memory budget: when the summed
+// per-instance estimates exceed it, warm capacity is reclaimed from
+// the functions holding the most (the over-quota tenants), oldest
+// instances first, until the estimate fits. Water-filling keeps the
+// eviction proportional: every shard is cut down to the same level L
+// before any shard below L loses an instance. Runs from the janitor;
+// tests call it directly. Returns the number of instances reclaimed.
+func (g *Gateway) reclaimMemoryOnce() int {
+	budget, est := g.adm.MemoryBudget, g.adm.InstanceMemBytes
+	if budget <= 0 || est <= 0 || g.stopped.Load() {
+		return 0
+	}
+	budgetInst := int(budget / est)
+
+	shards := g.snapshotShards()
+	counts := make([]int, len(shards))
+	total := 0
+	for i, s := range shards {
+		s.mu.Lock()
+		counts[i] = len(s.idle)
+		s.mu.Unlock()
+		total += counts[i]
+	}
+	ins := g.obs.Load()
+	if ins != nil {
+		ins.admMemBytes.Set(float64(total) * float64(est))
+	}
+	if total <= budgetInst {
+		return 0
+	}
+
+	// Water-filling: find the level L such that capping every shard at
+	// L fits the budget, then each shard's quota is what it holds past
+	// L (spread one-by-one across the largest when L is fractional).
+	quota := overQuota(counts, budgetInst)
+
+	var doomed []*instance
+	for i, s := range shards {
+		if quota[i] <= 0 {
+			continue
+		}
+		s.mu.Lock()
+		n := quota[i]
+		if n > len(s.idle) {
+			n = len(s.idle)
+		}
+		if n > 0 {
+			doomed = append(doomed, s.idle[:n]...)
+			s.idle = append(s.idle[:0:0], s.idle[n:]...)
+			s.stats.Retired += n
+			s.syncWarmLocked()
+		}
+		s.mu.Unlock()
+	}
+	if len(doomed) > 0 {
+		g.memReclaimed.Add(uint64(len(doomed)))
+		if ins != nil {
+			ins.admMemReclaimed.Add(float64(len(doomed)))
+			ins.poolRetired.Add(float64(len(doomed)))
+			ins.admMemBytes.Set(float64(total-len(doomed)) * float64(est))
+		}
+		stopAll(doomed)
+	}
+	return len(doomed)
+}
+
+// overQuota distributes the eviction burden of fitting counts into
+// budget: shards are cut down toward a common water level, largest
+// holders first, and nobody below the level is touched. Returns the
+// per-shard eviction quota.
+func overQuota(counts []int, budget int) []int {
+	quota := make([]int, len(counts))
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	excess := total - budget
+	if excess <= 0 {
+		return quota
+	}
+	// Shard indexes sorted by holding, largest first (stable on index
+	// for determinism).
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	// Peel one instance at a time from the current largest holder:
+	// O(excess * n) with tiny constants, and exactly the water-filling
+	// result without fractional-level bookkeeping.
+	remaining := append([]int(nil), counts...)
+	for evicted := 0; evicted < excess; evicted++ {
+		best := -1
+		for _, i := range order {
+			if best == -1 || remaining[i] > remaining[best] {
+				best = i
+			}
+		}
+		if best == -1 || remaining[best] == 0 {
+			break
+		}
+		remaining[best]--
+		quota[best]++
+	}
+	return quota
+}
+
+// cancelUpstream writes the client-side conclusion of a request whose
+// context died mid-flight: nothing for a vanished client, 504 for a
+// deadline that expired while the backend worked. The backend is
+// blameless either way — the caller already discarded the instance
+// without feeding the breaker.
+func (g *Gateway) cancelUpstream(w http.ResponseWriter, r *http.Request, s *shard, committed bool, start time.Time) {
+	s.countCanceled()
+	if ins := g.obs.Load(); ins != nil {
+		ins.admCanceled.Inc()
+	}
+	if r.Context().Err() != nil || committed {
+		// Client disconnect (or the status line already went out):
+		// there is nobody/no way to tell.
+		s.observe("canceled", start)
+		return
+	}
+	w.Header().Set(RejectedHeader, string(admission.ReasonDeadline))
+	http.Error(w, "live: deadline exceeded", http.StatusGatewayTimeout)
+	s.observe("canceled", start)
+}
+
+// countCanceled bumps the shard's abandoned-request counter (Stats
+// aggregation; the metrics side goes through observe/admCanceled).
+func (s *shard) countCanceled() {
+	s.mu.Lock()
+	s.stats.Canceled++
+	s.mu.Unlock()
+}
+
+// withDeadline derives the request context the backend call runs
+// under: the client's own context (so disconnects cancel backend
+// work), bounded by the admission deadline when one is set.
+func withDeadline(r *http.Request, deadline time.Time) (context.Context, context.CancelFunc) {
+	if deadline.IsZero() {
+		return r.Context(), func() {}
+	}
+	return context.WithDeadline(r.Context(), deadline)
+}

@@ -113,7 +113,7 @@ func benchGatewayHotPath(b *testing.B, workers, fns int) {
 				}
 				s := shards[i%int64(fns)]
 				start := time.Now()
-				if !g.breakerAllow(s) {
+				if ok, _ := g.breakerAllow(s); !ok {
 					b.Error("breaker open")
 					return
 				}

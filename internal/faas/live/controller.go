@@ -115,7 +115,9 @@ func (g *Gateway) startControlLoops() {
 		return
 	}
 	g.ctlRunning = true
-	runJanitor := g.ctl.KeepAlive > 0
+	// The janitor owns keep-alive expiry AND memory-budget reclaim, so
+	// it runs when either policy is armed.
+	runJanitor := g.ctl.KeepAlive > 0 || g.adm.MemoryBudget > 0
 	var names []string
 	if g.ctl.NewPredictor != nil {
 		for name := range g.shards {
@@ -287,7 +289,13 @@ func (g *Gateway) prewarmOne(s *shard, fn Function) {
 // runJanitor periodically expires idle instances past the keep-alive.
 func (g *Gateway) runJanitor() {
 	defer g.wg.Done()
-	ticker := time.NewTicker(g.ctl.JanitorInterval)
+	interval := g.ctl.JanitorInterval
+	if interval <= 0 {
+		// A memory budget arms the janitor without EnableControl (which
+		// is where the interval is normally defaulted).
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -346,6 +354,10 @@ func (g *Gateway) janitorOnce(now time.Time) {
 		}
 		stopAll(doomed)
 	}
+	// With a memory budget armed, the same scan enforces it: reclaim
+	// warm capacity from the biggest holders once the summed estimates
+	// exceed the budget.
+	g.reclaimMemoryOnce()
 }
 
 // PredictionTrace is one function's live controller trace: the

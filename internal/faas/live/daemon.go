@@ -15,6 +15,7 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"hotc/internal/admission"
 	"hotc/internal/obs"
 	"hotc/internal/predictor"
 )
@@ -56,6 +57,27 @@ type PoolConfig struct {
 	// watchdog (0 = unlimited): oversized requests get HTTP 413
 	// instead of ballooning a watchdog's memory.
 	MaxBodyBytes int64
+	// MaxInFlight caps concurrently executing requests per function;
+	// past it arrivals wait in the admission queue. 0 disables
+	// admission control (the pre-overload-tier behaviour).
+	MaxInFlight int
+	// QueueDepth caps waiting requests per tenant per function; past
+	// it arrivals get 429 + Retry-After.
+	QueueDepth int
+	// DefaultDeadline is applied to requests without an explicit
+	// X-Hotc-Deadline-Ms header (0 = none): queued requests past their
+	// deadline are shed, in-flight backend work is canceled at it.
+	DefaultDeadline time.Duration
+	// TenantWeights sets admission fair-dispatch quanta per tenant
+	// (unlisted tenants weigh 1).
+	TenantWeights map[string]int
+	// MemoryBudget bounds estimated warm-instance memory across all
+	// functions, in bytes (0 = unlimited); the janitor reclaims from
+	// the biggest holders first when exceeded.
+	MemoryBudget int64
+	// InstanceMemBytes overrides the per-instance estimate backing the
+	// budget (default 64 MiB).
+	InstanceMemBytes int64
 }
 
 // Daemon is the long-running HotC gateway server: the live gateway
@@ -82,7 +104,7 @@ type Daemon struct {
 }
 
 // Builtin handler names deployable through the API.
-func Builtins() []string { return []string{"echo", "qr", "upper", "wordcount"} }
+func Builtins() []string { return []string{"echo", "qr", "sleep", "upper", "wordcount"} }
 
 // builtinFunction resolves a builtin by name into its handler fields
 // (the caller fills in Name and ColdStart). echo, upper and wordcount
@@ -108,6 +130,24 @@ func builtinFunction(name string) (Function, error) {
 				return nil, fmt.Errorf("empty input")
 			}
 			return []byte("QR(" + s + ")"), nil
+		}}, nil
+	case "sleep":
+		// Constant-service-time handler for load benches: the body is
+		// the service time in milliseconds (default 20). It occupies
+		// its instance for the whole interval, which is what makes
+		// saturation reproducible — throughput is instances/latency,
+		// not CPU-bound.
+		return Function{Handler: func(b []byte) ([]byte, error) {
+			ms := 20
+			if s := strings.TrimSpace(string(b)); s != "" {
+				n, err := strconv.Atoi(s)
+				if err != nil || n < 0 || n > 10_000 {
+					return nil, fmt.Errorf("sleep: want milliseconds 0..10000, got %q", s)
+				}
+				ms = n
+			}
+			time.Sleep(time.Duration(ms) * time.Millisecond)
+			return []byte(fmt.Sprintf("slept %dms", ms)), nil
 		}}, nil
 	default:
 		return Function{}, fmt.Errorf("live: unknown builtin handler %q (have %v)", name, Builtins())
@@ -250,6 +290,16 @@ func NewDaemon(cfg PoolConfig) *Daemon {
 	if cfg.BreakerThreshold > 0 {
 		d.gw.EnableBreaker(cfg.BreakerThreshold, cfg.BreakerOpenFor)
 	}
+	if cfg.MaxInFlight > 0 || cfg.DefaultDeadline > 0 || cfg.MemoryBudget > 0 {
+		d.gw.EnableAdmission(AdmissionConfig{
+			MaxInFlight:      cfg.MaxInFlight,
+			QueueDepth:       cfg.QueueDepth,
+			DefaultDeadline:  cfg.DefaultDeadline,
+			TenantWeights:    cfg.TenantWeights,
+			MemoryBudget:     cfg.MemoryBudget,
+			InstanceMemBytes: cfg.InstanceMemBytes,
+		})
+	}
 	return d
 }
 
@@ -344,16 +394,19 @@ func (d *Daemon) routes() *http.ServeMux {
 		for _, n := range names {
 			warm[n] = d.gw.WarmInstances(n)
 		}
-		// resilience, warmAges and forecast share their source of truth
-		// with the /metrics endpoint (the same gateway counters, idle
-		// lists and controller state).
+		// resilience, warmAges, forecast and admission share their
+		// source of truth with the /metrics endpoint (the same gateway
+		// counters, idle lists, controller state and queues).
 		writeJSON(w, struct {
-			Stats      Stats                `json:"stats"`
-			Warm       map[string]int       `json:"warmInstances"`
-			Forecast   map[string]float64   `json:"forecast"`
-			Resilience map[string]int       `json:"resilience"`
-			WarmAges   map[string][]float64 `json:"warmAgeSeconds"`
-		}{d.gw.Stats(), warm, d.gw.Forecasts(), d.gw.ResilienceCounters(), d.gw.WarmAges(time.Now())})
+			Stats      Stats                      `json:"stats"`
+			Warm       map[string]int             `json:"warmInstances"`
+			Forecast   map[string]float64         `json:"forecast"`
+			Resilience map[string]int             `json:"resilience"`
+			WarmAges   map[string][]float64       `json:"warmAgeSeconds"`
+			Admission  map[string]admission.Stats `json:"admission,omitempty"`
+			WarmMemory WarmMemoryStats            `json:"warmMemory,omitempty"`
+		}{d.gw.Stats(), warm, d.gw.Forecasts(), d.gw.ResilienceCounters(),
+			d.gw.WarmAges(time.Now()), d.gw.AdmissionStats(), d.gw.WarmMemory()})
 	})
 	mux.HandleFunc("/system/predictions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, d.gw.PredictionTraces())

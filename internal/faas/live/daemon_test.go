@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -377,6 +378,11 @@ func TestBreakerOpensAndRejects(t *testing.T) {
 	resp := postJSON(t, base+"/function/echo", "x")
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("open-breaker invoke = %d, want 503", resp.StatusCode)
+	}
+	// The fast-fail carries an honest retry hint: the remainder of the
+	// breaker's open window (an hour here), not a blind constant.
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 3500 || ra > 3600 {
+		t.Fatalf("open-breaker Retry-After = %q, want ~3600s (remaining open window)", resp.Header.Get("Retry-After"))
 	}
 
 	res := d.gw.ResilienceCounters()

@@ -34,6 +34,17 @@ type instruments struct {
 	// body just to measure it.
 	bodyBytes *obs.Histogram // hotc_gateway_body_bytes
 
+	// Admission-control families (hotc_adm_*): the overload tier's
+	// queue occupancy, waits, refusals and per-tenant goodput.
+	admDepth        *obs.GaugeVec     // hotc_adm_queue_depth{function}
+	admInFlight     *obs.GaugeVec     // hotc_adm_inflight{function}
+	admWait         *obs.HistogramVec // hotc_adm_queue_wait_ms{function}
+	admRejected     *obs.CounterVec   // hotc_adm_rejected_total{function, reason}
+	admGoodput      *obs.CounterVec   // hotc_adm_goodput_total{tenant}
+	admCanceled     *obs.Counter      // hotc_adm_canceled_total
+	admMemBytes     *obs.Gauge        // hotc_adm_mem_bytes
+	admMemReclaimed *obs.Counter      // hotc_adm_mem_reclaimed_total
+
 	// startsWarm/startsCold are the two children of starts, resolved
 	// once so the request path pays a single atomic add.
 	startsWarm *obs.Counter
@@ -48,12 +59,16 @@ type shardMetrics struct {
 	reqOK       *obs.Counter
 	reqError    *obs.Counter
 	reqRejected *obs.Counter
+	reqCanceled *obs.Counter
 	latency     *obs.Histogram
 	warm        *obs.Gauge
 	breakerSt   *obs.Gauge
 	ctlDemand   *obs.Gauge
 	ctlForecast *obs.Gauge
 	ctlTarget   *obs.Gauge
+	admDepth    *obs.Gauge
+	admInFlight *obs.Gauge
+	admWait     *obs.Histogram
 }
 
 // forFunction resolves the per-function handle set.
@@ -62,12 +77,16 @@ func (ins *instruments) forFunction(name string) *shardMetrics {
 		reqOK:       ins.requests.With(name, "ok"),
 		reqError:    ins.requests.With(name, "error"),
 		reqRejected: ins.requests.With(name, "rejected"),
+		reqCanceled: ins.requests.With(name, "canceled"),
 		latency:     ins.latency.With(name),
 		warm:        ins.warm.With(name),
 		breakerSt:   ins.breakerState.With(name),
 		ctlDemand:   ins.ctlDemand.With(name),
 		ctlForecast: ins.ctlForecast.With(name),
 		ctlTarget:   ins.ctlTarget.With(name),
+		admDepth:    ins.admDepth.With(name),
+		admInFlight: ins.admInFlight.With(name),
+		admWait:     ins.admWait.With(name),
 	}
 }
 
@@ -86,7 +105,7 @@ func (g *Gateway) Instrument(reg *obs.Registry) {
 	}
 	ins := &instruments{
 		requests: reg.CounterVec("hotc_requests_total",
-			"Requests handled by the gateway, by function and outcome (ok|error|rejected).",
+			"Requests handled by the gateway, by function and outcome (ok|error|rejected|canceled).",
 			"function", "outcome"),
 		starts: reg.CounterVec("hotc_starts_total",
 			"Watchdog instance starts behind served requests, by mode (warm = reused, cold = fresh boot).",
@@ -123,6 +142,27 @@ func (g *Gateway) Instrument(reg *obs.Registry) {
 		bodyBytes: reg.Histogram("hotc_gateway_body_bytes",
 			"Response bytes streamed through the gateway per request.",
 			obs.DefaultBodySizeBuckets()),
+		admDepth: reg.GaugeVec("hotc_adm_queue_depth",
+			"Requests waiting in the admission queue, per function.",
+			"function"),
+		admInFlight: reg.GaugeVec("hotc_adm_inflight",
+			"Requests dispatched and executing, per function.",
+			"function"),
+		admWait: reg.HistogramVec("hotc_adm_queue_wait_ms",
+			"Time admitted requests spent queued before dispatch, in milliseconds.",
+			obs.DefaultLatencyBucketsMS(), "function"),
+		admRejected: reg.CounterVec("hotc_adm_rejected_total",
+			"Requests refused by admission control, by function and reason (queue_full|deadline|canceled|stopped).",
+			"function", "reason"),
+		admGoodput: reg.CounterVec("hotc_adm_goodput_total",
+			"Requests completed successfully, by tenant.",
+			"tenant"),
+		admCanceled: reg.Counter("hotc_adm_canceled_total",
+			"In-flight backend calls canceled by client disconnect or deadline expiry."),
+		admMemBytes: reg.Gauge("hotc_adm_mem_bytes",
+			"Estimated memory held by warm instances across all functions."),
+		admMemReclaimed: reg.Counter("hotc_adm_mem_reclaimed_total",
+			"Warm instances reclaimed by memory-budget pressure."),
 	}
 	ins.startsWarm = ins.starts.With("warm")
 	ins.startsCold = ins.starts.With("cold")
@@ -144,6 +184,8 @@ func (s *shard) observe(outcome string, start time.Time) {
 		m.reqOK.Inc()
 	case "rejected":
 		m.reqRejected.Inc()
+	case "canceled":
+		m.reqCanceled.Inc()
 	default:
 		m.reqError.Inc()
 	}
@@ -190,22 +232,27 @@ func (g *Gateway) breakerLocked(s *shard) *faas.Breaker {
 }
 
 // breakerAllow reports whether a request for the function may proceed,
-// counting and fast-fail accounting when it may not. With breaking
-// disabled (the default) this is one branch on an immutable field.
-func (g *Gateway) breakerAllow(s *shard) bool {
+// counting and fast-fail accounting when it may not; a refusal comes
+// with the remainder of the breaker's open window, the honest
+// Retry-After. With breaking disabled (the default) this is one branch
+// on an immutable field.
+func (g *Gateway) breakerAllow(s *shard) (bool, time.Duration) {
 	if g.breakerThreshold <= 0 {
-		return true
+		return true, 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b := g.breakerLocked(s)
-	ok := b.Allow(g.since())
+	now := g.since()
+	ok := b.Allow(now)
+	var retryAfter time.Duration
 	if !ok {
+		retryAfter = b.RemainingOpen(now)
 		s.resLocked("breaker.rejected")
 		g.event("breaker-rejected")
 	}
 	s.syncBreakerGaugeLocked(b, g.since())
-	return ok
+	return ok, retryAfter
 }
 
 // breakerFailure feeds a backend failure (boot or proxy) into the

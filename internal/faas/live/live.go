@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hotc/internal/admission"
 	"hotc/internal/faas"
 )
 
@@ -193,6 +194,9 @@ type Stats struct {
 	Retired int
 	// Expired counts instances stopped by keep-alive (idle TTL) expiry.
 	Expired int
+	// Canceled counts requests abandoned mid-flight or mid-queue by
+	// client disconnect or deadline expiry.
+	Canceled int
 }
 
 // add accumulates another shard's deltas.
@@ -203,6 +207,7 @@ func (s *Stats) add(o Stats) {
 	s.Prewarmed += o.Prewarmed
 	s.Retired += o.Retired
 	s.Expired += o.Expired
+	s.Canceled += o.Canceled
 }
 
 // shard is one function's slice of the gateway: everything a request
@@ -226,6 +231,11 @@ type shard struct {
 	// ctl is the adaptive-control state: in-flight demand accounting,
 	// the predictor and its evaluation series.
 	ctl fnControl
+
+	// adm is the function's admission queue; nil when overload control
+	// is off. It has its own internal lock and is never touched under
+	// s.mu (queueing must not serialize with pool bookkeeping).
+	adm *admission.Queue
 
 	// m holds the pre-resolved per-function metric handles; nil when
 	// the gateway is uninstrumented. Swapped wholesale by Instrument,
@@ -284,6 +294,12 @@ type Gateway struct {
 	// afterwards.
 	breakerThreshold int
 	breakerOpenFor   time.Duration
+
+	// adm configures overload control (see EnableAdmission). Written
+	// before traffic, read-only afterwards; memReclaimed counts warm
+	// instances evicted by memory-budget pressure.
+	adm          AdmissionConfig
+	memReclaimed atomic.Uint64
 
 	// maxBody bounds request bodies at the gateway and every watchdog
 	// it boots (see SetMaxBodyBytes). Written before traffic, read-only
@@ -357,6 +373,9 @@ func (g *Gateway) newShardLocked(name string) *shard {
 	}
 	if ins := g.obs.Load(); ins != nil {
 		s.m.Store(ins.forFunction(name))
+	}
+	if g.adm.MaxInFlight > 0 {
+		s.adm = g.newAdmissionQueueLocked(s)
 	}
 	return s
 }
@@ -437,6 +456,14 @@ func (g *Gateway) Stop() {
 	}
 	g.smu.Unlock()
 
+	// Wake every queued request with a "stopped" refusal before the
+	// server drains: a waiter blocked in its admission queue is an
+	// in-flight handler Shutdown would otherwise wait out (or strand).
+	for _, s := range shards {
+		if s.adm != nil {
+			s.adm.Stop()
+		}
+	}
 	close(g.ctlStop)
 	if g.server != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
@@ -584,6 +611,20 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Resolve the request's deadline (header override, else the
+	// configured default) before committing anything: it bounds both
+	// the queue wait and the backend call.
+	deadline, err := g.requestDeadline(r, start)
+	if err != nil {
+		s.observe("rejected", start)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = name
+	}
+
 	// Bound the request body before any instance is committed: a
 	// declared-oversize body is rejected for free here; an undeclared
 	// (chunked) one is caught by MaxBytesReader mid-proxy below.
@@ -597,12 +638,33 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// While the breaker is open, fast-fail instead of piling boots onto
-	// a failing backend.
-	if !g.breakerAllow(s) {
+	// a failing backend — with the honest retry hint: the remainder of
+	// the breaker's open window.
+	if ok, retryAfter := g.breakerAllow(s); !ok {
+		if retryAfter > 0 {
+			setRetryAfter(w, retryAfter)
+		}
 		s.observe("rejected", start)
 		http.Error(w, fmt.Sprintf("live: circuit breaker open for %q", name), http.StatusServiceUnavailable)
 		return
 	}
+
+	// Admission: pass the bounded, deadline-shedding, tenant-fair
+	// queue before touching the warm pool. A refusal (429/503 +
+	// Retry-After) was already written by admit.
+	if s.adm != nil {
+		ticket := g.admit(w, r, s, tenant, deadline, start)
+		if ticket == nil {
+			return
+		}
+		defer ticket.Done()
+	}
+
+	// The backend call runs under the client's context bounded by the
+	// deadline: a disconnect or an expired deadline cancels in-flight
+	// backend work instead of letting it run to waste.
+	ctx, cancelCtx := withDeadline(r, deadline)
+	defer cancelCtx()
 
 	inst, reused, err := g.acquire(s)
 	if err != nil {
@@ -615,14 +677,27 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	// Forward to the watchdog over a real socket, streaming the request
 	// body straight through. A transport failure makes the instance
 	// suspect: tear it down rather than re-pool it — unless the failure
-	// was the client's own oversized body tripping MaxBytesReader,
-	// which must not feed the breaker.
-	resp, err := g.client.Post("http://"+inst.addr+"/", "application/octet-stream", r.Body)
+	// was the client's own doing (an oversized body tripping
+	// MaxBytesReader, a disconnect, an expired deadline), which must
+	// not feed the breaker.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+inst.addr+"/", r.Body)
+	if err != nil {
+		g.discard(s, inst)
+		s.observe("error", start)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := g.client.Do(req)
 	if err != nil {
 		g.discard(s, inst)
 		if isMaxBytesErr(err) {
 			s.observe("rejected", start)
 			http.Error(w, "live: request body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		if ctx.Err() != nil {
+			g.cancelUpstream(w, r, s, false, start)
 			return
 		}
 		g.breakerFailure(s, "proxy.failures")
@@ -655,12 +730,18 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	src := readTracker{r: resp.Body}
 	n, copyErr := copyPooled(w, &src)
 	if copyErr != nil && src.failed {
-		// The watchdog died mid-stream. The status line is already
+		// The backend read died mid-stream. The status line is already
 		// committed, so the client sees a truncated body; the instance
 		// is suspect and its connection poisoned — close without
-		// draining and tear it down.
+		// draining and tear it down. When the read died because the
+		// request context did (client disconnect / deadline), the
+		// watchdog is blameless: same teardown, no breaker.
 		resp.Body.Close()
 		g.discard(s, inst)
+		if ctx.Err() != nil {
+			g.cancelUpstream(w, r, s, true, start)
+			return
+		}
 		g.breakerFailure(s, "proxy.failures")
 		s.observe("error", start)
 		return
@@ -684,6 +765,11 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 			ins.startsCold.Inc()
 		}
 		ins.bodyBytes.Observe(float64(n))
+		if outcome == "ok" {
+			// Per-tenant goodput: completed useful work, the number
+			// the saturation curves are drawn from.
+			ins.admGoodput.With(tenant).Inc()
+		}
 	}
 	s.observe(outcome, start)
 }

@@ -138,6 +138,16 @@ func (b *Breaker) State(now simclock.Time) BreakerState {
 // Trips reports how many times the breaker has tripped open.
 func (b *Breaker) Trips() int { return b.trips }
 
+// RemainingOpen reports how much of the open window is left at now —
+// the honest Retry-After for a fast-failed request. Zero when the
+// breaker is closed or already due for a half-open probe.
+func (b *Breaker) RemainingOpen(now simclock.Time) time.Duration {
+	if b.state == BreakerOpen && now < b.openedAt+b.OpenFor {
+		return b.openedAt + b.OpenFor - now
+	}
+	return 0
+}
+
 // Allow reports whether the guarded operation may proceed at now.
 // While open it returns false; once the open window elapses it admits
 // exactly one probe (half-open) and rejects the rest until the probe

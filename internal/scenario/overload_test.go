@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The shipped overload scenario's point is tenant isolation: an
+// abusive tenant flooding its concurrency-capped function must not
+// take the steady SLO-bound tenant down with it. The steady stream
+// has to complete (>= 95% of its 60 requests — in the deterministic
+// sim it is all of them) at a mean far below the flooded tenant's.
+func TestSaturationOverloadProtectsSteadyTenant(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "scenarios", "saturation-overload.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	steady, ok := out.PerFunction["steady"]
+	if !ok {
+		t.Fatalf("no steady tenant in outcome: %+v", out.PerFunction)
+	}
+	const want = 60 // the serial part's count
+	if steady.Requests < want*95/100 {
+		t.Fatalf("steady tenant completed %d/%d requests, want >= 95%%", steady.Requests, want)
+	}
+	abusive := out.PerFunction["burst"]
+	if abusive.Requests == 0 {
+		t.Fatal("burst tenant produced no load")
+	}
+	// The steady tenant must be isolated from the flood: its mean stays
+	// in warm-request territory while the flooded function queues
+	// behind its own cap.
+	if steady.MeanMS > 200 {
+		t.Fatalf("steady tenant mean = %.1fms: the burst tenant's flood leaked into it", steady.MeanMS)
+	}
+	if steady.MeanMS >= abusive.MeanMS {
+		t.Fatalf("steady mean %.1fms >= abusive mean %.1fms: no isolation visible", steady.MeanMS, abusive.MeanMS)
+	}
+}
+
+// The mix workload keeps each part's class and merges onto one
+// sorted timeline; nesting and empty parts are spec errors.
+func TestMixWorkloadBuild(t *testing.T) {
+	w := WorkloadSpec{Kind: "mix", Parts: []MixPart{
+		{Class: 0, WorkloadSpec: WorkloadSpec{Kind: "serial", Count: 5, IntervalSec: 10}},
+		{Class: 1, WorkloadSpec: WorkloadSpec{Kind: "serial", Count: 3, IntervalSec: 15}},
+	}}
+	reqs, err := w.build(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 8 {
+		t.Fatalf("merged %d requests, want 8", len(reqs))
+	}
+	byClass := map[int]int{}
+	for i, r := range reqs {
+		byClass[r.Class]++
+		if i > 0 && reqs[i-1].At > r.At {
+			t.Fatalf("merged schedule out of order at %d: %v > %v", i, reqs[i-1].At, r.At)
+		}
+	}
+	if byClass[0] != 5 || byClass[1] != 3 {
+		t.Fatalf("class split = %v, want 5/3", byClass)
+	}
+
+	if _, err := (WorkloadSpec{Kind: "mix"}).build(1, 0); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	nested := WorkloadSpec{Kind: "mix", Parts: []MixPart{
+		{WorkloadSpec: WorkloadSpec{Kind: "mix"}},
+	}}
+	if _, err := nested.build(1, 0); err == nil {
+		t.Fatal("nested mix accepted")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -170,6 +171,20 @@ type WorkloadSpec struct {
 	Scale   float64 `json:"scale,omitempty"`
 	// File is the CSV schedule path (kind csv).
 	File string `json:"file,omitempty"`
+	// Parts compose a "mix" workload: each part is any non-mix pattern
+	// whose requests are re-labelled with the part's class, then all
+	// parts are merged onto one timeline. This models heterogeneous
+	// tenants — e.g. a steady SLO-bound stream sharing the gateway
+	// with an abusive burst.
+	Parts []MixPart `json:"parts,omitempty"`
+}
+
+// MixPart is one component stream of a "mix" workload.
+type MixPart struct {
+	WorkloadSpec
+	// Class labels every request of this part, mapping it onto
+	// Functions[class % len(functions)].
+	Class int `json:"class"`
 }
 
 // Parse reads a spec, rejecting unknown fields.
@@ -276,6 +291,26 @@ func (w WorkloadSpec) build(classes int, seed int64) (hotc.Workload, error) {
 			scale = 20
 		}
 		return hotc.CampusWorkload(seed, scale, orDefault(w.Minutes, 60), classes), nil
+	case "mix":
+		if len(w.Parts) == 0 {
+			return nil, fmt.Errorf("scenario: mix workload needs parts")
+		}
+		var merged hotc.Workload
+		for i, p := range w.Parts {
+			if p.Kind == "mix" {
+				return nil, fmt.Errorf("scenario: mix parts cannot nest")
+			}
+			part, err := p.WorkloadSpec.build(classes, seed+int64(i))
+			if err != nil {
+				return nil, fmt.Errorf("scenario: mix part %d: %w", i, err)
+			}
+			for j := range part {
+				part[j].Class = p.Class
+			}
+			merged = append(merged, part...)
+		}
+		sort.SliceStable(merged, func(a, b int) bool { return merged[a].At < merged[b].At })
+		return merged, nil
 	case "csv":
 		if w.File == "" {
 			return nil, fmt.Errorf("scenario: csv workload needs a file")

@@ -23,6 +23,16 @@ echo "== zero-alloc regression guard (non-race: AllocsPerRun)"
 # perturbs allocation counts. This non-race pass asserts the pooled
 # copy and the []byte shim stay at zero heap allocations per request.
 go test -run 'ZeroAlloc' -count=1 ./internal/faas/live/
+echo "== load-generator smoke (2s self-hosted run)"
+# hotc-load boots an in-process daemon on a loopback socket and drives
+# it open-loop for 2s at a non-saturating rate: the run must complete
+# with non-zero goodput and zero 5xx, proving the admission tier and
+# the generator itself against a real socket path.
+LOADTMP="$(mktemp -d)"
+trap 'rm -rf "$LOADTMP"' EXIT
+go build -o "$LOADTMP/hotc-load" ./cmd/hotc-load
+"$LOADTMP/hotc-load" -rate 50 -duration 2s -assert-min-ok 0.9 -assert-max-5xx 0 \
+	-out "$LOADTMP/smoke.json"
 echo "== metric-name lint"
 ./scripts/lint-metrics.sh
 echo "verify: OK"
