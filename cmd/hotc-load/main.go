@@ -61,13 +61,32 @@ type result struct {
 	RetryAfter   int64              `json:"retry_after_present"`
 	LatencyMS    map[string]float64 `json:"latency_ms"`
 	Tenants      map[string]*tstats `json:"tenants,omitempty"`
-	WarmAtEnd    int                `json:"warm_instances_at_end,omitempty"`
+	// SlowestTraces and FailedTraces carry the X-Hotc-Trace-Id echoed
+	// by a tracing gateway for the slowest successes and the first
+	// failures: paste one into
+	// `curl $target/system/trace | grep <id>` (or `hotc-trace spans`)
+	// to see that exact request's span.
+	SlowestTraces []traceRef `json:"slowest_traces,omitempty"`
+	FailedTraces  []traceRef `json:"failed_traces,omitempty"`
+	WarmAtEnd     int        `json:"warm_instances_at_end,omitempty"`
 }
 
 type tstats struct {
 	Sent     int64 `json:"sent"`
 	OK       int64 `json:"ok"`
 	Rejected int64 `json:"rejected"`
+	// LatencyMS holds this tenant's own 2xx latency percentiles —
+	// aggregate percentiles hide exactly the per-tenant unfairness a
+	// tenant split exists to measure.
+	LatencyMS map[string]float64 `json:"latency_ms,omitempty"`
+}
+
+// traceRef points a report reader at one request's span.
+type traceRef struct {
+	TraceID   string  `json:"trace_id"`
+	Status    int     `json:"status"`
+	LatencyMS float64 `json:"latency_ms"`
+	Tenant    string  `json:"tenant,omitempty"`
 }
 
 func main() {
@@ -192,6 +211,8 @@ func run(base, function, body string, tenants []tenantShare, rate float64, durat
 		status    = map[string]int64{}
 		latencies []float64
 		perTenant = map[string]*tstats{}
+		tenantLat = map[string][]float64{}
+		traced    []traceRef
 		retryHdr  atomic.Int64
 		drops     atomic.Int64
 		sent      atomic.Int64
@@ -259,10 +280,21 @@ func run(base, function, body string, tenants []tenantShare, rate float64, durat
 			if resp.Header.Get("Retry-After") != "" {
 				retryHdr.Add(1)
 			}
+			latMs := float64(elapsed.Microseconds()) / 1000
+			traceID := resp.Header.Get("X-Hotc-Trace-Id")
 			mu.Lock()
 			status[strconv.Itoa(resp.StatusCode)]++
 			if resp.StatusCode < 300 {
-				latencies = append(latencies, float64(elapsed.Microseconds())/1000)
+				latencies = append(latencies, latMs)
+				if tenant != "" {
+					tenantLat[tenant] = append(tenantLat[tenant], latMs)
+				}
+			}
+			if traceID != "" {
+				traced = append(traced, traceRef{
+					TraceID: traceID, Status: resp.StatusCode,
+					LatencyMS: float64(int(latMs*100)) / 100, Tenant: tenant,
+				})
 			}
 			if ts := perTenant[tenant]; ts != nil {
 				ts.Sent++
@@ -290,8 +322,12 @@ func run(base, function, body string, tenants []tenantShare, rate float64, durat
 		LatencyMS:   percentiles(latencies),
 	}
 	if len(perTenant) > 0 {
+		for name, ts := range perTenant {
+			ts.LatencyMS = percentiles(tenantLat[name])
+		}
 		res.Tenants = perTenant
 	}
+	res.SlowestTraces, res.FailedTraces = pickTraces(traced, 5)
 	var ok, rejected, fivexx int64
 	for code, n := range status {
 		c, _ := strconv.Atoi(code)
@@ -311,6 +347,24 @@ func run(base, function, body string, tenants []tenantShare, rate float64, durat
 	}
 	res.GoodputRPS = float64(ok) / duration.Seconds()
 	return res
+}
+
+// pickTraces selects the report's span pointers: the n slowest 2xx
+// responses (worst first) and the first n non-2xx responses, among
+// those the gateway stamped with a trace ID.
+func pickTraces(traced []traceRef, n int) (slowest, failed []traceRef) {
+	for _, t := range traced {
+		if t.Status >= 200 && t.Status < 300 {
+			slowest = append(slowest, t)
+		} else if len(failed) < n {
+			failed = append(failed, t)
+		}
+	}
+	sort.Slice(slowest, func(a, b int) bool { return slowest[a].LatencyMS > slowest[b].LatencyMS })
+	if len(slowest) > n {
+		slowest = slowest[:n]
+	}
+	return slowest, failed
 }
 
 func percentiles(ms []float64) map[string]float64 {

@@ -16,15 +16,24 @@
 //	hotc-trace key [docker-run-style args...]
 //	    run Parameter Analysis on a command and print the canonical
 //	    pool key and the relaxed key
-//	hotc-trace spans <spans.jsonl>
-//	    summarize a span log (hotc-sim -span-log) into the per-phase
-//	    latency breakdown table
+//	hotc-trace spans <spans.jsonl | http://host/system/trace>
+//	    summarize a span log (hotc-sim -span-log, or a live gateway's
+//	    /system/trace endpoint) into the per-phase latency breakdown
+//	    table
+//	hotc-trace metrics <exposition.txt | http://host/metrics>
+//	    strictly validate a Prometheus text exposition (TYPE discipline,
+//	    histogram cumulativity, exemplar placement) and print a summary;
+//	    exits non-zero if the exposition is malformed
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"hotc"
@@ -52,13 +61,15 @@ func main() {
 		keyCmd(os.Args[2:])
 	case "spans":
 		spansCmd(os.Args[2:])
+	case "metrics":
+		metricsCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hotc-trace campus|pattern|corpus|parse|key|spans [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hotc-trace campus|pattern|corpus|parse|key|spans|metrics [flags]")
 	os.Exit(2)
 }
 
@@ -198,21 +209,76 @@ func parseCmd(args []string) {
 
 func spansCmd(args []string) {
 	if len(args) != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hotc-trace spans <spans.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: hotc-trace spans <spans.jsonl | http://host/system/trace>")
 		os.Exit(2)
 	}
-	f, err := os.Open(args[0])
+	src := args[0]
+	if isURL(src) && !strings.Contains(src, "format=") {
+		// /system/trace serves JSON by default; ask for the JSONL stream.
+		sep := "?"
+		if strings.Contains(src, "?") {
+			sep = "&"
+		}
+		src += sep + "format=jsonl"
+	}
+	r, err := openSource(src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hotc-trace:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
-	spans, err := obs.ReadSpans(f)
+	defer r.Close()
+	spans, err := obs.ReadSpans(r)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hotc-trace:", err)
 		os.Exit(1)
 	}
 	fmt.Print(obs.Summarize(spans).Render())
+}
+
+func metricsCmd(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hotc-trace metrics <exposition.txt | http://host/metrics>")
+		os.Exit(2)
+	}
+	r, err := openSource(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotc-trace:", err)
+		os.Exit(1)
+	}
+	defer r.Close()
+	st, err := obs.ParseExposition(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotc-trace: malformed exposition:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("exposition OK: %d families, %d samples, %d exemplars\n",
+		st.Families, st.Samples, st.Exemplars)
+	names := append([]string(nil), st.Names...)
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println("  " + n)
+	}
+}
+
+func isURL(s string) bool {
+	return strings.HasPrefix(s, "http://") || strings.HasPrefix(s, "https://")
+}
+
+// openSource opens a local file, or fetches an http(s) URL and returns
+// its body. Non-2xx responses are errors.
+func openSource(src string) (io.ReadCloser, error) {
+	if !isURL(src) {
+		return os.Open(src)
+	}
+	resp, err := http.Get(src)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET %s: %s", src, resp.Status)
+	}
+	return resp.Body, nil
 }
 
 func keyCmd(args []string) {

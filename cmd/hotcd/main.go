@@ -49,6 +49,12 @@ func main() {
 		queueLen  = flag.Int("queue-depth", 256, "max queued requests per tenant per function before 429 + Retry-After")
 		deadline  = flag.Duration("default-deadline", 0, "deadline applied to requests without an X-Hotc-Deadline-Ms header: queued requests past it are shed with 429, in-flight backend work is canceled (0 = none)")
 		memBudget = flag.Int64("memory-budget", 0, "estimated warm-instance memory budget in bytes across all functions; the janitor reclaims from the biggest holders first (0 = unlimited)")
+		noTrace   = flag.Bool("no-trace", false, "disable live request tracing (/system/trace and traceparent propagation)")
+		trCap     = flag.Int("trace-capacity", 2048, "span ring capacity behind /system/trace")
+		trSample  = flag.Float64("trace-sample", 0.01, "probabilistic keep rate for unremarkable successful spans; errors, sheds, cold starts and slow requests are always kept (negative = always-keep classes only)")
+		trSlowMs  = flag.Int("trace-slow-ms", 500, "always keep spans at or above this end-to-end latency, in milliseconds (negative = off)")
+		sloLatMs  = flag.Int("slo-latency-ms", 250, "latency SLO: 2xx requests slower than this are bad events against a p99 objective (0 = objective off)")
+		sloColdPc = flag.Float64("slo-coldstart-pct", 5, "cold-start SLO: percent of served requests allowed to pay a cold start (0 = objective off)")
 	)
 	flag.Parse()
 
@@ -73,6 +79,12 @@ func main() {
 		QueueDepth:         *queueLen,
 		DefaultDeadline:    *deadline,
 		MemoryBudget:       *memBudget,
+		DisableTracing:     *noTrace,
+		TraceCapacity:      *trCap,
+		TraceSampleRate:    *trSample,
+		TraceSlowThreshold: time.Duration(*trSlowMs) * time.Millisecond,
+		SLOLatency:         time.Duration(*sloLatMs) * time.Millisecond,
+		SLOColdStartPct:    *sloColdPc,
 	})
 	if *preload {
 		for _, h := range live.Builtins() {
@@ -110,8 +122,18 @@ func main() {
 	if *memBudget > 0 {
 		fmt.Printf("warm memory budget: %d bytes (janitor reclaims biggest holders past it)\n", *memBudget)
 	}
+	if *noTrace {
+		fmt.Println("tracing: off (-no-trace)")
+	} else {
+		fmt.Printf("tracing: ring=%d sample=%.4g slow=%dms (GET /system/trace, traceparent accepted, X-Hotc-Trace-Id echoed)\n",
+			*trCap, *trSample, *trSlowMs)
+	}
+	if *sloLatMs > 0 || *sloColdPc > 0 {
+		fmt.Printf("slo: latency p99<%dms coldstart<%.4g%% (GET /system/slo, hotc_slo_* burn rates)\n",
+			*sloLatMs, *sloColdPc)
+	}
 	fmt.Println("management: GET/POST /system/functions, GET /system/stats, GET /system/predictions; invoke: POST /function/<name>")
-	fmt.Println("metrics: GET /metrics (Prometheus text exposition)")
+	fmt.Println("metrics: GET /metrics (Prometheus text exposition with trace exemplars)")
 	if *pprofOn {
 		fmt.Println("profiling: GET /debug/pprof/")
 	}

@@ -127,17 +127,19 @@ func (g *Gateway) requestDeadline(r *http.Request, start time.Time) (time.Time, 
 // admit runs the request through the shard's admission queue (a no-op
 // pass when admission is off). It either returns a ticket — whose Done
 // the caller must arrange — or writes the refusal response itself and
-// returns nil.
-func (g *Gateway) admit(w http.ResponseWriter, r *http.Request, s *shard, tenant string, deadline time.Time, start time.Time) *admission.Ticket {
+// returns a nil ticket with the refusal's HTTP status (the caller
+// feeds it to the request's span; a queue-canceled request reports 499
+// even though no status line went out).
+func (g *Gateway) admit(w http.ResponseWriter, r *http.Request, s *shard, rt *reqTrace, tenant string, deadline time.Time, start time.Time) (*admission.Ticket, int) {
 	if s.adm == nil {
-		return nil
+		return nil, 0
 	}
 	ticket, rej := s.adm.Acquire(r.Context(), tenant, deadline)
 	if rej == nil {
 		if m := s.m.Load(); m != nil {
 			m.admWait.ObserveDuration(ticket.Waited())
 		}
-		return ticket
+		return ticket, 0
 	}
 	if ins := g.obs.Load(); ins != nil {
 		ins.admRejected.With(s.name, string(rej.Reason)).Inc()
@@ -147,7 +149,8 @@ func (g *Gateway) admit(w http.ResponseWriter, r *http.Request, s *shard, tenant
 		// status line.
 		s.countCanceled()
 		s.observe("canceled", start)
-		return nil
+		g.traceEvent(rt, "canceled", "client disconnect while queued")
+		return nil, statusClientClosedRequest
 	}
 	status := http.StatusTooManyRequests
 	if rej.Reason == admission.ReasonStopped {
@@ -159,7 +162,8 @@ func (g *Gateway) admit(w http.ResponseWriter, r *http.Request, s *shard, tenant
 	w.Header().Set(RejectedHeader, string(rej.Reason))
 	http.Error(w, fmt.Sprintf("live: overloaded (%s) for %q", rej.Reason, s.name), status)
 	s.observe("rejected", start)
-	return nil
+	g.traceEvent(rt, "admission-rejected", string(rej.Reason))
+	return nil, status
 }
 
 // setRetryAfter writes a whole-seconds Retry-After header, always at
@@ -318,12 +322,19 @@ func overQuota(counts []int, budget int) []int {
 	return quota
 }
 
+// statusClientClosedRequest is the span status for requests abandoned
+// by their client before any status line went out (nginx's 499
+// convention) — not a wire status, only trace/SLO bookkeeping.
+const statusClientClosedRequest = 499
+
 // cancelUpstream writes the client-side conclusion of a request whose
 // context died mid-flight: nothing for a vanished client, 504 for a
 // deadline that expired while the backend worked. The backend is
 // blameless either way — the caller already discarded the instance
-// without feeding the breaker.
-func (g *Gateway) cancelUpstream(w http.ResponseWriter, r *http.Request, s *shard, committed bool, start time.Time) {
+// without feeding the breaker. Returns the status the span records:
+// 504 when the deadline refusal went out, 499 when nobody was
+// listening.
+func (g *Gateway) cancelUpstream(w http.ResponseWriter, r *http.Request, s *shard, rt *reqTrace, committed bool, start time.Time) int {
 	s.countCanceled()
 	if ins := g.obs.Load(); ins != nil {
 		ins.admCanceled.Inc()
@@ -331,12 +342,15 @@ func (g *Gateway) cancelUpstream(w http.ResponseWriter, r *http.Request, s *shar
 	if r.Context().Err() != nil || committed {
 		// Client disconnect (or the status line already went out):
 		// there is nobody/no way to tell.
+		g.traceEvent(rt, "canceled", "client disconnect mid-flight")
 		s.observe("canceled", start)
-		return
+		return statusClientClosedRequest
 	}
 	w.Header().Set(RejectedHeader, string(admission.ReasonDeadline))
 	http.Error(w, "live: deadline exceeded", http.StatusGatewayTimeout)
+	g.traceEvent(rt, "canceled", "deadline exceeded mid-flight")
 	s.observe("canceled", start)
+	return http.StatusGatewayTimeout
 }
 
 // countCanceled bumps the shard's abandoned-request counter (Stats

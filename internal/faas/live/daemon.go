@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -78,6 +79,26 @@ type PoolConfig struct {
 	// InstanceMemBytes overrides the per-instance estimate backing the
 	// budget (default 64 MiB).
 	InstanceMemBytes int64
+	// DisableTracing turns live request tracing off. Tracing is on by
+	// default: its sampled-out path costs a handful of atomics per
+	// request and nothing on the pool hot path.
+	DisableTracing bool
+	// TraceCapacity sizes the span ring behind /system/trace (default
+	// 2048).
+	TraceCapacity int
+	// TraceSampleRate is the probabilistic keep rate for unremarkable
+	// successful spans (0 = the 1% default; negative = keep only
+	// errors, sheds, cold starts and slow requests).
+	TraceSampleRate float64
+	// TraceSlowThreshold always keeps spans at or above this latency
+	// (0 = the 500ms default; negative disables the slow rule).
+	TraceSlowThreshold time.Duration
+	// SLOLatency arms the latency objective: a 2xx request slower than
+	// this is a bad event against a p99 target (0 = objective off).
+	SLOLatency time.Duration
+	// SLOColdStartPct arms the cold-start objective: at most this
+	// percentage of served requests may pay a cold start (0 = off).
+	SLOColdStartPct float64
 }
 
 // Daemon is the long-running HotC gateway server: the live gateway
@@ -99,9 +120,20 @@ type Daemon struct {
 	cfg PoolConfig
 	reg *obs.Registry
 
+	// slo is the burn-rate monitor behind /system/slo and hotc_slo_*;
+	// nil when no objective is armed.
+	slo *obs.SLOMonitor
+	// started anchors hotc_uptime_seconds, refreshed on each scrape.
+	started time.Time
+	uptime  *obs.Gauge
+
 	mu       sync.Mutex
 	deployed []string
 }
+
+// Version labels hotc_build_info; release builds override it via
+// -ldflags "-X hotc/internal/faas/live.Version=v1.2.3".
+var Version = "dev"
 
 // Builtin handler names deployable through the API.
 func Builtins() []string { return []string{"echo", "qr", "sleep", "upper", "wordcount"} }
@@ -273,12 +305,33 @@ func wordcountStream(r io.Reader, w io.Writer) error {
 // management, a metrics registry and (optionally) a circuit breaker.
 func NewDaemon(cfg PoolConfig) *Daemon {
 	d := &Daemon{
-		gw:  NewGateway(true),
-		cfg: cfg,
-		reg: obs.New(),
+		gw:      NewGateway(true),
+		cfg:     cfg,
+		reg:     obs.New(),
+		started: time.Now(),
 	}
 	d.gw.Instrument(d.reg)
 	d.gw.SetMaxBodyBytes(cfg.MaxBodyBytes)
+	d.reg.GaugeVec("hotc_build_info",
+		"Build metadata: constant 1, labeled by gateway version and Go runtime version.",
+		"version", "go_version").With(Version, runtime.Version()).Set(1)
+	d.uptime = d.reg.Gauge("hotc_uptime_seconds",
+		"Seconds since the daemon started, refreshed on scrape.")
+	if !cfg.DisableTracing {
+		d.gw.EnableTracing(TracingConfig{
+			Capacity:      cfg.TraceCapacity,
+			SampleRate:    cfg.TraceSampleRate,
+			SlowThreshold: cfg.TraceSlowThreshold,
+		})
+	}
+	if cfg.SLOLatency > 0 || cfg.SLOColdStartPct > 0 {
+		d.slo = obs.NewSLOMonitor(obs.SLOConfig{
+			LatencyThreshold: cfg.SLOLatency,
+			ColdStartBudget:  cfg.SLOColdStartPct / 100,
+		})
+		d.slo.Instrument(d.reg)
+		d.gw.SetSLO(d.slo)
+	}
 	d.gw.EnableControl(ControlConfig{
 		Interval:        cfg.ControlInterval,
 		NewPredictor:    cfg.NewPredictor,
@@ -398,20 +451,60 @@ func (d *Daemon) routes() *http.ServeMux {
 		// source of truth with the /metrics endpoint (the same gateway
 		// counters, idle lists, controller state and queues).
 		writeJSON(w, struct {
-			Stats      Stats                      `json:"stats"`
-			Warm       map[string]int             `json:"warmInstances"`
-			Forecast   map[string]float64         `json:"forecast"`
-			Resilience map[string]int             `json:"resilience"`
-			WarmAges   map[string][]float64       `json:"warmAgeSeconds"`
-			Admission  map[string]admission.Stats `json:"admission,omitempty"`
-			WarmMemory WarmMemoryStats            `json:"warmMemory,omitempty"`
-		}{d.gw.Stats(), warm, d.gw.Forecasts(), d.gw.ResilienceCounters(),
-			d.gw.WarmAges(time.Now()), d.gw.AdmissionStats(), d.gw.WarmMemory()})
+			Version       string                     `json:"version"`
+			GoVersion     string                     `json:"goVersion"`
+			UptimeSeconds float64                    `json:"uptimeSeconds"`
+			Stats         Stats                      `json:"stats"`
+			Warm          map[string]int             `json:"warmInstances"`
+			Forecast      map[string]float64         `json:"forecast"`
+			Resilience    map[string]int             `json:"resilience"`
+			WarmAges      map[string][]float64       `json:"warmAgeSeconds"`
+			Admission     map[string]admission.Stats `json:"admission,omitempty"`
+			WarmMemory    WarmMemoryStats            `json:"warmMemory,omitempty"`
+			Trace         TraceStats                 `json:"trace"`
+		}{Version, runtime.Version(), time.Since(d.started).Seconds(),
+			d.gw.Stats(), warm, d.gw.Forecasts(), d.gw.ResilienceCounters(),
+			d.gw.WarmAges(time.Now()), d.gw.AdmissionStats(), d.gw.WarmMemory(),
+			d.gw.TraceStats()})
+	})
+	mux.HandleFunc("/system/trace", func(w http.ResponseWriter, r *http.Request) {
+		spans := d.gw.TraceSpans()
+		if v := r.URL.Query().Get("limit"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < len(spans) {
+				spans = spans[:n]
+			}
+		}
+		if r.URL.Query().Get("format") == "jsonl" {
+			// The same JSONL shape the sim writes and `hotc-trace
+			// spans` reads: one span per line.
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			obs.WriteSpans(w, spans)
+			return
+		}
+		writeJSON(w, struct {
+			Trace TraceStats `json:"trace"`
+			Spans []obs.Span `json:"spans"`
+		}{d.gw.TraceStats(), spans})
+	})
+	mux.HandleFunc("/system/slo", func(w http.ResponseWriter, r *http.Request) {
+		if d.slo == nil {
+			writeJSON(w, obs.SLOReport{})
+			return
+		}
+		// Sync refreshes the hotc_slo_* gauges from the same pass that
+		// builds the JSON, so the two views never disagree.
+		writeJSON(w, d.slo.Sync())
 	})
 	mux.HandleFunc("/system/predictions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, d.gw.PredictionTraces())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Scrape-time refresh: uptime and the SLO burn-rate gauges are
+		// computed views, made exactly as fresh as the scrape.
+		d.uptime.Set(time.Since(d.started).Seconds())
+		if d.slo != nil {
+			d.slo.Sync()
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		d.reg.WritePrometheus(w)
 	})

@@ -45,6 +45,13 @@ type instruments struct {
 	admMemBytes     *obs.Gauge        // hotc_adm_mem_bytes
 	admMemReclaimed *obs.Counter      // hotc_adm_mem_reclaimed_total
 
+	// Tracing families (hotc_trace_*): the tail sampler's verdict
+	// counts. traceKept is pre-resolved per keep reason so the keep
+	// path pays one map lookup and one atomic add.
+	traceKept       map[string]*obs.Counter // hotc_trace_kept_total{reason}
+	traceSampledOut *obs.Counter            // hotc_trace_sampled_out_total
+	traceRingFull   *obs.Counter            // hotc_trace_ring_dropped_total
+
 	// startsWarm/startsCold are the two children of starts, resolved
 	// once so the request path pays a single atomic add.
 	startsWarm *obs.Counter
@@ -164,6 +171,17 @@ func (g *Gateway) Instrument(reg *obs.Registry) {
 		admMemReclaimed: reg.Counter("hotc_adm_mem_reclaimed_total",
 			"Warm instances reclaimed by memory-budget pressure."),
 	}
+	traceKept := reg.CounterVec("hotc_trace_kept_total",
+		"Spans retained by the tail sampler, by keep reason (error|shed|cold|slow|sampled).",
+		"reason")
+	ins.traceKept = make(map[string]*obs.Counter, len(obs.KeepReasons()))
+	for _, reason := range obs.KeepReasons() {
+		ins.traceKept[reason] = traceKept.With(reason)
+	}
+	ins.traceSampledOut = reg.Counter("hotc_trace_sampled_out_total",
+		"Completed requests whose spans the tail sampler dropped.")
+	ins.traceRingFull = reg.Counter("hotc_trace_ring_dropped_total",
+		"Kept spans dropped because their trace-ring slot was busy.")
 	ins.startsWarm = ins.starts.With("warm")
 	ins.startsCold = ins.starts.With("cold")
 	g.obs.Store(ins)

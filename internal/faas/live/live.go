@@ -50,6 +50,7 @@ import (
 
 	"hotc/internal/admission"
 	"hotc/internal/faas"
+	"hotc/internal/obs"
 )
 
 // Handler is the buffered function body: bytes in, bytes out. The
@@ -113,7 +114,18 @@ func startInstance(fn Function, maxBody int64) (*instance, error) {
 // recycled whole-body buffer. maxBody > 0 bounds the request body
 // (HTTP 413 on overflow) so one request can never balloon the
 // watchdog's memory.
+//
+// A request carrying a traceparent gets the watchdog's §III.A moments
+// (2)..(5) back as X-Hotc-Span-* unix-nano headers. On the streaming
+// path moments (4) and (5) are unknowable before the response body
+// starts, so they return as HTTP trailers on the chunked reply; the
+// gateway reads them after draining the body.
 func serveFunction(w http.ResponseWriter, r *http.Request, fn Function, maxBody int64) {
+	traced := r.Header.Get(TraceparentHeader) != ""
+	var watchdogIn int64
+	if traced {
+		watchdogIn = time.Now().UnixNano() // moment (2)
+	}
 	body := r.Body
 	if maxBody > 0 {
 		body = http.MaxBytesReader(w, body, maxBody)
@@ -124,8 +136,23 @@ func serveFunction(w http.ResponseWriter, r *http.Request, fn Function, maxBody 
 		// body reads at the first response write. Writers that don't
 		// support it (tests' fakes) just stay half-duplex.
 		http.NewResponseController(w).EnableFullDuplex()
+		if traced {
+			h := w.Header()
+			h.Set("Trailer", SpanFuncDoneHeader+", "+SpanWatchdogOutHeader)
+			h.Set(SpanWatchdogInHeader, strconv.FormatInt(watchdogIn, 10))
+			h.Set(SpanFuncStartHeader, strconv.FormatInt(time.Now().UnixNano(), 10))
+		}
 		tw := &trackWriter{w: w}
-		if err := fn.Stream(body, tw); err != nil && tw.n == 0 {
+		err := fn.Stream(body, tw)
+		if traced {
+			// Moments (4) and (5) coincide for a stream: the handler's
+			// last write is the response leaving the watchdog. Written
+			// into the declared trailers when the reply is chunked.
+			now := strconv.FormatInt(time.Now().UnixNano(), 10)
+			w.Header().Set(SpanFuncDoneHeader, now)
+			w.Header().Set(SpanWatchdogOutHeader, now)
+		}
+		if err != nil && tw.n == 0 {
 			// Nothing committed yet: a real status line is still
 			// possible. After first byte, all we can do is truncate.
 			if isMaxBytesErr(err) {
@@ -146,9 +173,22 @@ func serveFunction(w http.ResponseWriter, r *http.Request, fn Function, maxBody 
 		}
 		return
 	}
+	var funcStart int64
+	if traced {
+		funcStart = time.Now().UnixNano() // moment (3)
+	}
 	out, err := fn.Handler(buf.Bytes())
+	if traced {
+		h := w.Header()
+		h.Set(SpanWatchdogInHeader, strconv.FormatInt(watchdogIn, 10))
+		h.Set(SpanFuncStartHeader, strconv.FormatInt(funcStart, 10))
+		h.Set(SpanFuncDoneHeader, strconv.FormatInt(time.Now().UnixNano(), 10)) // moment (4)
+	}
 	if err != nil {
 		putBodyBuf(buf)
+		if traced {
+			w.Header().Set(SpanWatchdogOutHeader, strconv.FormatInt(time.Now().UnixNano(), 10))
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -156,6 +196,9 @@ func serveFunction(w http.ResponseWriter, r *http.Request, fn Function, maxBody 
 	// chunking. The buffer recycles only after the write: echo-style
 	// handlers return slices aliasing it.
 	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+	if traced {
+		w.Header().Set(SpanWatchdogOutHeader, strconv.FormatInt(time.Now().UnixNano(), 10)) // moment (5)
+	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(out)
 	putBodyBuf(buf)
@@ -309,6 +352,14 @@ type Gateway struct {
 	// obs is the optional metric hookup (see Instrument), read
 	// lock-free on the request path.
 	obs atomic.Pointer[instruments]
+
+	// trace is the optional live-tracing hookup (see EnableTracing):
+	// span ring, tail sampler and ID generator, read lock-free on the
+	// request path. nil = tracing off.
+	trace atomic.Pointer[tracing]
+	// slo is the optional SLO monitor (see SetSLO) fed by every
+	// completed request. nil = no objectives tracked.
+	slo atomic.Pointer[obs.SLOMonitor]
 
 	server    *http.Server
 	lis       net.Listener
@@ -611,6 +662,19 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Open the request's trace: join or mint a W3C trace context and
+	// echo the trace ID on every response, refusals included, so any
+	// client can look its request up in /system/trace. rt lives on
+	// this frame; it only reaches the heap if the tail sampler keeps
+	// the span.
+	var rt reqTrace
+	rt.name, rt.start = name, start
+	tr := g.trace.Load()
+	if tr != nil {
+		tr.begin(&rt, r, start)
+		w.Header().Set(TraceIDHeader, rt.tc.TraceIDString())
+	}
+
 	// Resolve the request's deadline (header override, else the
 	// configured default) before committing anything: it bounds both
 	// the queue wait and the backend call.
@@ -618,12 +682,14 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.observe("rejected", start)
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		g.finishRequest(s, &rt, http.StatusBadRequest, "bad deadline header")
 		return
 	}
 	tenant := r.Header.Get(TenantHeader)
 	if tenant == "" {
 		tenant = name
 	}
+	rt.tenant = tenant
 
 	// Bound the request body before any instance is committed: a
 	// declared-oversize body is rejected for free here; an undeclared
@@ -632,6 +698,7 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 		if r.ContentLength > g.maxBody {
 			s.observe("rejected", start)
 			http.Error(w, "live: request body too large", http.StatusRequestEntityTooLarge)
+			g.finishRequest(s, &rt, http.StatusRequestEntityTooLarge, "request body too large")
 			return
 		}
 		r.Body = http.MaxBytesReader(w, r.Body, g.maxBody)
@@ -646,17 +713,22 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 		}
 		s.observe("rejected", start)
 		http.Error(w, fmt.Sprintf("live: circuit breaker open for %q", name), http.StatusServiceUnavailable)
+		g.traceEvent(&rt, "breaker-rejected", "circuit open")
+		g.finishRequest(s, &rt, http.StatusServiceUnavailable, "")
 		return
 	}
 
 	// Admission: pass the bounded, deadline-shedding, tenant-fair
 	// queue before touching the warm pool. A refusal (429/503 +
-	// Retry-After) was already written by admit.
+	// Retry-After) was already written by admit; the span records it
+	// with its shed status and reason event.
 	if s.adm != nil {
-		ticket := g.admit(w, r, s, tenant, deadline, start)
+		ticket, refusal := g.admit(w, r, s, &rt, tenant, deadline, start)
 		if ticket == nil {
+			g.finishRequest(s, &rt, refusal, "")
 			return
 		}
+		rt.queueWait = ticket.Waited()
 		defer ticket.Done()
 	}
 
@@ -667,43 +739,57 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	defer cancelCtx()
 
 	inst, reused, err := g.acquire(s)
+	rt.reused = reused
 	if err != nil {
 		g.breakerFailure(s, "boot.failures")
 		s.observe("error", start)
 		http.Error(w, err.Error(), http.StatusBadGateway)
+		g.finishRequest(s, &rt, http.StatusBadGateway, err.Error())
 		return
 	}
 
 	// Forward to the watchdog over a real socket, streaming the request
-	// body straight through. A transport failure makes the instance
-	// suspect: tear it down rather than re-pool it — unless the failure
-	// was the client's own doing (an oversized body tripping
-	// MaxBytesReader, a disconnect, an expired deadline), which must
-	// not feed the breaker.
+	// body straight through and carrying the trace context so the
+	// watchdog returns its span timestamps. A transport failure makes
+	// the instance suspect: tear it down rather than re-pool it —
+	// unless the failure was the client's own doing (an oversized body
+	// tripping MaxBytesReader, a disconnect, an expired deadline),
+	// which must not feed the breaker.
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+inst.addr+"/", r.Body)
 	if err != nil {
 		g.discard(s, inst)
 		s.observe("error", start)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		g.finishRequest(s, &rt, http.StatusInternalServerError, err.Error())
 		return
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if rt.active {
+		req.Header.Set(TraceparentHeader, rt.tc.Traceparent())
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		g.discard(s, inst)
 		if isMaxBytesErr(err) {
 			s.observe("rejected", start)
 			http.Error(w, "live: request body too large", http.StatusRequestEntityTooLarge)
+			g.finishRequest(s, &rt, http.StatusRequestEntityTooLarge, "request body too large")
 			return
 		}
 		if ctx.Err() != nil {
-			g.cancelUpstream(w, r, s, false, start)
+			status := g.cancelUpstream(w, r, s, &rt, false, start)
+			g.finishRequest(s, &rt, status, "")
 			return
 		}
 		g.breakerFailure(s, "proxy.failures")
 		s.observe("error", start)
 		http.Error(w, err.Error(), http.StatusBadGateway)
+		g.finishRequest(s, &rt, http.StatusBadGateway, err.Error())
 		return
+	}
+	rt.served = true
+	if tr != nil {
+		tr.noteWatchdog(resp.Header, &rt)
 	}
 
 	// Forward the watchdog's response headers (Content-Type etc.) and
@@ -715,9 +801,14 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	// forwarded, so the gateway's own server must run full duplex —
 	// otherwise its first response write aborts the client's body reads
 	// and truncates the upstream request.
+	// The watchdog's X-Hotc-Span-* timestamps (and its trailer
+	// declaration) are consumed above, not forwarded to the client.
 	http.NewResponseController(w).EnableFullDuplex()
 	hdr := w.Header()
 	for k, vv := range resp.Header {
+		if internalRespHeader(k) {
+			continue
+		}
 		for _, v := range vv {
 			hdr.Add(k, v)
 		}
@@ -739,19 +830,26 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 		resp.Body.Close()
 		g.discard(s, inst)
 		if ctx.Err() != nil {
-			g.cancelUpstream(w, r, s, true, start)
+			status := g.cancelUpstream(w, r, s, &rt, true, start)
+			g.finishRequest(s, &rt, status, "")
 			return
 		}
 		g.breakerFailure(s, "proxy.failures")
 		s.observe("error", start)
+		g.finishRequest(s, &rt, resp.StatusCode, "backend read failed mid-stream")
 		return
 	}
 	// The round-trip worked (a handler-level error status is the
 	// function's business, not a runtime fault) — or only the client's
 	// write side failed, which the watchdog cannot be blamed for.
 	// Drain whatever the client refused so the keep-alive connection
-	// returns to the idle pool clean, then re-pool the instance.
+	// returns to the idle pool clean, then re-pool the instance. A
+	// chunked (streaming) reply carries moments (4) and (5) as
+	// trailers, readable only now that the body is fully drained.
 	drainClose(resp.Body)
+	if tr != nil {
+		tr.noteWatchdog(resp.Trailer, &rt)
+	}
 	g.release(s, inst)
 	g.breakerSuccess(s)
 	outcome := "ok"
@@ -772,4 +870,5 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.observe(outcome, start)
+	g.finishRequest(s, &rt, resp.StatusCode, "")
 }

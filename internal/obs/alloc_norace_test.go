@@ -1,0 +1,7 @@
+//go:build !race
+
+package obs
+
+// raceEnabled gates allocation-count assertions; see the race-tagged
+// twin of this file.
+const raceEnabled = false

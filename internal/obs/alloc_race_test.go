@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation perturbs AllocsPerRun, so the zero-alloc guards only
+// assert in non-race runs.
+const raceEnabled = true

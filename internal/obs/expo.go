@@ -13,7 +13,10 @@ import (
 // WritePrometheus renders the registry in the Prometheus text
 // exposition format (version 0.0.4): HELP/TYPE headers, cumulative
 // `le` buckets with a +Inf terminator, and _sum/_count per histogram
-// series.
+// series. Histogram buckets that carry an exemplar render it in the
+// OpenMetrics syntax (` # {trace_id="..."} value ts`), which
+// Prometheus accepts when exemplar storage is on and every
+// OpenMetrics-aware parser understands.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	return WritePrometheus(w, r.Snapshot())
 }
@@ -32,12 +35,14 @@ func WritePrometheus(w io.Writer, fams []FamilySnapshot) error {
 				cum := uint64(0)
 				for i, b := range f.Bounds {
 					cum += bucketCount(s.BucketCounts, i)
-					fmt.Fprintf(bw, "%s_bucket%s %d\n",
-						f.Name, labelString(f.Labels, s.LabelValues, "le", formatFloat(b)), cum)
+					fmt.Fprintf(bw, "%s_bucket%s %d%s\n",
+						f.Name, labelString(f.Labels, s.LabelValues, "le", formatFloat(b)), cum,
+						exemplarString(s.Exemplars, i))
 				}
 				cum += bucketCount(s.BucketCounts, len(f.Bounds))
-				fmt.Fprintf(bw, "%s_bucket%s %d\n",
-					f.Name, labelString(f.Labels, s.LabelValues, "le", "+Inf"), cum)
+				fmt.Fprintf(bw, "%s_bucket%s %d%s\n",
+					f.Name, labelString(f.Labels, s.LabelValues, "le", "+Inf"), cum,
+					exemplarString(s.Exemplars, len(f.Bounds)))
 				fmt.Fprintf(bw, "%s_sum%s %s\n",
 					f.Name, labelString(f.Labels, s.LabelValues, "", ""), formatFloat(s.Sum))
 				fmt.Fprintf(bw, "%s_count%s %d\n",
@@ -49,6 +54,19 @@ func WritePrometheus(w io.Writer, fams []FamilySnapshot) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// exemplarString renders bucket i's exemplar as an OpenMetrics
+// suffix, or "" when the bucket has none.
+func exemplarString(exemplars []BucketExemplar, i int) string {
+	for _, ex := range exemplars {
+		if ex.Bucket == i {
+			return fmt.Sprintf(" # {trace_id=%q} %s %s",
+				ex.TraceID, formatFloat(ex.Value),
+				strconv.FormatFloat(float64(ex.TSUnixMs)/1000, 'f', 3, 64))
+		}
+	}
+	return ""
 }
 
 func bucketCount(counts []uint64, i int) uint64 {
@@ -119,6 +137,8 @@ type metricLine struct {
 	Bounds []float64         `json:"bounds,omitempty"`
 	// BucketCounts are per-bucket (non-cumulative), last entry +Inf.
 	BucketCounts []uint64 `json:"bucketCounts,omitempty"`
+	// Exemplars are per-bucket representative traced observations.
+	Exemplars []BucketExemplar `json:"exemplars,omitempty"`
 }
 
 // WriteJSONL dumps the registry one JSON object per series line, for
@@ -140,6 +160,7 @@ func (r *Registry) WriteJSONL(w io.Writer) error {
 			if f.Kind == "histogram" {
 				line.Bounds = f.Bounds
 				line.BucketCounts = s.BucketCounts
+				line.Exemplars = s.Exemplars
 			}
 			if err := enc.Encode(line); err != nil {
 				return fmt.Errorf("obs: writing metrics JSONL: %w", err)

@@ -132,6 +132,27 @@ type series struct {
 	counts  []atomic.Uint64 // per-bucket (non-cumulative); last entry is +Inf
 	sumBits atomic.Uint64   // histogram sum as float64 bits
 	count   atomic.Uint64
+	// exemplars holds one recent representative observation per
+	// histogram bucket (nil until a bucket gets one): an atomic
+	// pointer swap on write, so attaching an exemplar never locks the
+	// observation path.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one concrete traced request to the histogram bucket
+// its value landed in, the OpenMetrics bridge from aggregate latency
+// curves back to individual traces: a dashboard showing a p99 spike
+// can surface the trace ID of a real request from the offending
+// bucket.
+type Exemplar struct {
+	// TraceID identifies the request (rendered as the trace_id
+	// exemplar label).
+	TraceID string `json:"traceId"`
+	// Value is the observed value the exemplar represents.
+	Value float64 `json:"value"`
+	// TSUnixMs is when the exemplar was recorded, milliseconds since
+	// the epoch.
+	TSUnixMs int64 `json:"tsUnixMs"`
 }
 
 // addFloat atomically adds v to a float64 stored as bits.
@@ -171,6 +192,7 @@ func (f *family) get(labelValues []string) *series {
 	s = &series{labelValues: append([]string(nil), labelValues...)}
 	if f.kind == KindHistogram {
 		s.counts = make([]atomic.Uint64, len(f.bounds)+1)
+		s.exemplars = make([]atomic.Pointer[Exemplar], len(f.bounds)+1)
 	}
 	f.series[key] = s
 	return s
@@ -311,6 +333,25 @@ func (h *Histogram) BucketCount(i int) uint64 {
 	return h.s.counts[i].Load()
 }
 
+// SetExemplar attaches an exemplar for value v to the bucket v falls
+// in, without recording an observation (the observation was already
+// counted by Observe; the exemplar only names a representative). One
+// atomic pointer swap: callers attach exemplars only for requests the
+// tail sampler kept, so the cost — one small allocation — is paid at
+// sampling frequency, not request frequency.
+func (h *Histogram) SetExemplar(v float64, traceID string, at time.Time) {
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.f.bounds, v)
+	h.s.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, TSUnixMs: at.UnixMilli()})
+}
+
+// Exemplar returns bucket i's exemplar, or nil if none was attached.
+func (h *Histogram) Exemplar(i int) *Exemplar {
+	return h.s.exemplars[i].Load()
+}
+
 // Counter registers (or fetches) an unlabeled counter.
 func (r *Registry) Counter(name, help string) *Counter {
 	f := r.family(name, help, KindCounter, nil, nil)
@@ -445,6 +486,16 @@ type SeriesSnapshot struct {
 	Count        uint64   `json:"count,omitempty"`
 	Sum          float64  `json:"sum,omitempty"`
 	BucketCounts []uint64 `json:"bucketCounts,omitempty"`
+	// Exemplars are the buckets' representative traced observations,
+	// ascending by bucket index; buckets without one are absent.
+	Exemplars []BucketExemplar `json:"exemplars,omitempty"`
+}
+
+// BucketExemplar is one bucket's exemplar in a snapshot.
+type BucketExemplar struct {
+	// Bucket indexes into BucketCounts (len(bounds) = +Inf).
+	Bucket int `json:"bucket"`
+	Exemplar
 }
 
 // Snapshot copies every family, sorted by name with series sorted by
@@ -485,6 +536,11 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 				ss.BucketCounts = make([]uint64, len(s.counts))
 				for i := range s.counts {
 					ss.BucketCounts[i] = s.counts[i].Load()
+				}
+				for i := range s.exemplars {
+					if ex := s.exemplars[i].Load(); ex != nil {
+						ss.Exemplars = append(ss.Exemplars, BucketExemplar{Bucket: i, Exemplar: *ex})
+					}
 				}
 			}
 			fs.Series = append(fs.Series, ss)

@@ -1,0 +1,477 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the strict reader for the exposition the registry
+// writes: a validating parser for the Prometheus text format
+// (0.0.4) plus OpenMetrics exemplar suffixes. scripts/verify.sh runs
+// it over a live hotcd's /metrics output (via `hotc-trace metrics`) so
+// a malformed line — a bad escape, a non-cumulative bucket, an
+// exemplar on the wrong sample — fails CI instead of a dashboard.
+
+// ExpoStats summarizes a parsed exposition.
+type ExpoStats struct {
+	// Families counts TYPE-declared metric families.
+	Families int
+	// Samples counts sample lines.
+	Samples int
+	// Exemplars counts exemplar suffixes.
+	Exemplars int
+	// Names are the family names in declaration order.
+	Names []string
+}
+
+// expoHistogram accumulates one histogram series' samples for the
+// end-of-parse structural checks.
+type expoHistogram struct {
+	buckets  map[float64]float64 // le → cumulative count
+	hasInf   bool
+	infCum   float64
+	sumSeen  bool
+	count    float64
+	countSet bool
+	line     int
+}
+
+// ParseExposition validates a text exposition end to end. It checks
+// line syntax (names, label escaping, float values, timestamps,
+// exemplars), TYPE discipline (every sample belongs to a declared
+// family, exemplars only on histogram buckets), and histogram
+// structure (cumulative non-decreasing buckets, mandatory +Inf,
+// _count consistent with the +Inf bucket, _sum present). The error
+// carries the offending line number.
+func ParseExposition(r io.Reader) (ExpoStats, error) {
+	var stats ExpoStats
+	types := make(map[string]string) // family → type
+	helps := make(map[string]bool)
+	hists := make(map[string]*expoHistogram) // family \x1f labels(excl le)
+	seen := make(map[string]bool)            // duplicate-sample detection
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseExpoComment(line, types, helps, &stats); err != nil {
+				return stats, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := parseExpoSample(line, lineNo, types, hists, seen, &stats); err != nil {
+			return stats, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return stats, err
+	}
+	for key, h := range hists {
+		name := key[:strings.Index(key, labelSep)]
+		if err := h.validate(name); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+func parseExpoComment(line string, types map[string]string, helps map[string]bool, stats *ExpoStats) error {
+	// "# HELP name text", "# TYPE name kind"; any other comment is
+	// legal and ignored.
+	rest, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		return nil
+	}
+	kind, rest, _ := strings.Cut(rest, " ")
+	switch kind {
+	case "HELP":
+		name, _, _ := strings.Cut(rest, " ")
+		if !validExpoName(name) {
+			return fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		if helps[name] {
+			return fmt.Errorf("duplicate HELP for %s", name)
+		}
+		helps[name] = true
+	case "TYPE":
+		name, typ, ok := strings.Cut(rest, " ")
+		if !ok {
+			return fmt.Errorf("TYPE line missing type: %q", line)
+		}
+		if !validExpoName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %s", typ, name)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		types[name] = typ
+		stats.Families++
+		stats.Names = append(stats.Names, name)
+	}
+	return nil
+}
+
+func parseExpoSample(line string, lineNo int, types map[string]string, hists map[string]*expoHistogram, seen map[string]bool, stats *ExpoStats) error {
+	p := &expoScanner{s: line}
+	name := p.name()
+	if name == "" {
+		return fmt.Errorf("invalid metric name at %q", p.rest())
+	}
+	labels, err := p.labels()
+	if err != nil {
+		return err
+	}
+	p.spaces()
+	valTok := p.token()
+	value, err := parseExpoValue(valTok)
+	if err != nil {
+		return fmt.Errorf("bad value %q: %w", valTok, err)
+	}
+
+	// Resolve the family this sample belongs to: exact name, or for
+	// histogram/summary the _bucket/_sum/_count suffixed forms.
+	family, suffix := name, ""
+	typ, ok := types[family]
+	if !ok {
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if base, found := strings.CutSuffix(name, sfx); found {
+				if t, declared := types[base]; declared {
+					family, suffix, typ, ok = base, sfx, t, true
+					break
+				}
+			}
+		}
+	}
+	if !ok {
+		return fmt.Errorf("sample %q has no preceding TYPE declaration", name)
+	}
+	switch typ {
+	case "histogram", "summary":
+		if suffix == "" && typ == "histogram" {
+			return fmt.Errorf("histogram %s sample must be _bucket, _sum or _count", family)
+		}
+	default:
+		if suffix != "" {
+			return fmt.Errorf("%s %s cannot have %s samples", typ, family, suffix)
+		}
+	}
+
+	// Optional timestamp (integer milliseconds).
+	p.spaces()
+	if tok := p.peekToken(); tok != "" && tok != "#" {
+		if _, err := strconv.ParseInt(p.token(), 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", tok)
+		}
+		p.spaces()
+	}
+
+	// Optional exemplar: "# {labels} value [timestamp]".
+	if !p.done() {
+		if typ != "histogram" || suffix != "_bucket" {
+			return fmt.Errorf("exemplar on non-bucket sample %s", name)
+		}
+		if err := p.exemplar(); err != nil {
+			return err
+		}
+		stats.Exemplars++
+	}
+	if !p.done() {
+		return fmt.Errorf("trailing garbage %q", p.rest())
+	}
+
+	// Duplicate detection and histogram accounting key: family +
+	// sorted labels, with le split out for buckets.
+	le, hasLE := labels["le"]
+	if suffix == "_bucket" {
+		if !hasLE {
+			return fmt.Errorf("%s_bucket without le label", family)
+		}
+		delete(labels, "le")
+	}
+	key := family + labelSep + suffix + labelSep + sortedLabelKey(labels)
+	dupKey := key
+	if suffix == "_bucket" {
+		dupKey += labelSep + le
+	}
+	if seen[dupKey] {
+		return fmt.Errorf("duplicate sample %s", name)
+	}
+	seen[dupKey] = true
+	stats.Samples++
+
+	if typ == "histogram" {
+		hkey := family + labelSep + sortedLabelKey(labels)
+		h := hists[hkey]
+		if h == nil {
+			h = &expoHistogram{buckets: make(map[float64]float64), line: lineNo}
+			hists[hkey] = h
+		}
+		switch suffix {
+		case "_bucket":
+			if le == "+Inf" {
+				h.hasInf, h.infCum = true, value
+			} else {
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("bad le %q", le)
+				}
+				h.buckets[bound] = value
+			}
+		case "_sum":
+			h.sumSeen = true
+		case "_count":
+			h.count, h.countSet = value, true
+		}
+	}
+	return nil
+}
+
+func (h *expoHistogram) validate(name string) error {
+	if !h.hasInf {
+		return fmt.Errorf("histogram %s (near line %d): missing +Inf bucket", name, h.line)
+	}
+	if !h.sumSeen || !h.countSet {
+		return fmt.Errorf("histogram %s (near line %d): missing _sum or _count", name, h.line)
+	}
+	if h.count != h.infCum {
+		return fmt.Errorf("histogram %s (near line %d): _count %v != +Inf bucket %v",
+			name, h.line, h.count, h.infCum)
+	}
+	bounds := make([]float64, 0, len(h.buckets))
+	for b := range h.buckets {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	prev := 0.0
+	for _, b := range bounds {
+		if h.buckets[b] < prev {
+			return fmt.Errorf("histogram %s (near line %d): bucket le=%v count %v below previous %v",
+				name, h.line, b, h.buckets[b], prev)
+		}
+		prev = h.buckets[b]
+	}
+	if h.infCum < prev {
+		return fmt.Errorf("histogram %s (near line %d): +Inf bucket %v below le=%v",
+			name, h.line, h.infCum, prev)
+	}
+	return nil
+}
+
+func parseExpoValue(tok string) (float64, error) {
+	switch tok {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	case "":
+		return 0, fmt.Errorf("missing value")
+	}
+	return strconv.ParseFloat(tok, 64)
+}
+
+func validExpoName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validExpoLabelName(s string) bool {
+	if s == "" || strings.ContainsRune(s, ':') {
+		return false
+	}
+	return validExpoName(s)
+}
+
+func sortedLabelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString(labelSep)
+		b.WriteString(labels[k])
+		b.WriteString(labelSep)
+	}
+	return b.String()
+}
+
+// expoScanner is a cursor over one sample line.
+type expoScanner struct {
+	s   string
+	pos int
+}
+
+func (p *expoScanner) done() bool   { return p.pos >= len(p.s) }
+func (p *expoScanner) rest() string { return p.s[p.pos:] }
+func (p *expoScanner) peek() byte {
+	if p.done() {
+		return 0
+	}
+	return p.s[p.pos]
+}
+
+func (p *expoScanner) spaces() {
+	for !p.done() && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// token reads up to the next space/tab.
+func (p *expoScanner) token() string {
+	start := p.pos
+	for !p.done() && p.s[p.pos] != ' ' && p.s[p.pos] != '\t' {
+		p.pos++
+	}
+	return p.s[start:p.pos]
+}
+
+func (p *expoScanner) peekToken() string {
+	save := p.pos
+	tok := p.token()
+	p.pos = save
+	return tok
+}
+
+// name reads a metric name (empty if invalid start).
+func (p *expoScanner) name() string {
+	start := p.pos
+	for !p.done() {
+		c := p.s[p.pos]
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		digit := c >= '0' && c <= '9'
+		if !alpha && !(digit && p.pos > start) {
+			break
+		}
+		p.pos++
+	}
+	return p.s[start:p.pos]
+}
+
+// labels reads an optional {name="value",...} block.
+func (p *expoScanner) labels() (map[string]string, error) {
+	out := make(map[string]string)
+	if p.peek() != '{' {
+		return out, nil
+	}
+	p.pos++
+	for {
+		if p.peek() == '}' {
+			p.pos++
+			return out, nil
+		}
+		lname := p.name()
+		if !validExpoLabelName(lname) {
+			return nil, fmt.Errorf("invalid label name at %q", p.rest())
+		}
+		if p.peek() != '=' {
+			return nil, fmt.Errorf("expected '=' at %q", p.rest())
+		}
+		p.pos++
+		val, err := p.quoted()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[lname]; dup {
+			return nil, fmt.Errorf("duplicate label %q", lname)
+		}
+		out[lname] = val
+		switch p.peek() {
+		case ',':
+			p.pos++ // trailing comma before '}' is legal
+		case '}':
+		default:
+			return nil, fmt.Errorf("expected ',' or '}' at %q", p.rest())
+		}
+	}
+}
+
+// quoted reads a double-quoted label value with \\, \" and \n escapes.
+func (p *expoScanner) quoted() (string, error) {
+	if p.peek() != '"' {
+		return "", fmt.Errorf("expected '\"' at %q", p.rest())
+	}
+	p.pos++
+	var b strings.Builder
+	for !p.done() {
+		c := p.s[p.pos]
+		p.pos++
+		switch c {
+		case '"':
+			return b.String(), nil
+		case '\\':
+			if p.done() {
+				return "", fmt.Errorf("dangling escape")
+			}
+			e := p.s[p.pos]
+			p.pos++
+			switch e {
+			case '\\', '"':
+				b.WriteByte(e)
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", fmt.Errorf("invalid escape \\%c", e)
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", fmt.Errorf("unterminated label value")
+}
+
+// exemplar validates an OpenMetrics exemplar suffix: the cursor sits
+// on '#'.
+func (p *expoScanner) exemplar() error {
+	if p.peek() != '#' {
+		return fmt.Errorf("expected exemplar at %q", p.rest())
+	}
+	p.pos++
+	p.spaces()
+	if p.peek() != '{' {
+		return fmt.Errorf("exemplar missing label set at %q", p.rest())
+	}
+	if _, err := p.labels(); err != nil {
+		return fmt.Errorf("exemplar labels: %w", err)
+	}
+	p.spaces()
+	valTok := p.token()
+	if _, err := parseExpoValue(valTok); err != nil {
+		return fmt.Errorf("exemplar value %q: %w", valTok, err)
+	}
+	p.spaces()
+	if !p.done() {
+		if _, err := strconv.ParseFloat(p.token(), 64); err != nil {
+			return fmt.Errorf("exemplar timestamp: %w", err)
+		}
+		p.spaces()
+	}
+	return nil
+}

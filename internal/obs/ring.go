@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// TraceRing is the bounded buffer of recently kept spans behind the
+// live gateway's /system/trace endpoint. It is built for a hot write
+// path and a cold read path:
+//
+//   - Writers never block. A global atomic sequence assigns each kept
+//     span a slot; the slot is claimed with a single CAS. If the claim
+//     fails (a reader is copying it, or the ring wrapped onto a slot
+//     another writer still holds), the span is dropped and counted
+//     rather than waited for — a trace buffer must never become the
+//     contention point it exists to diagnose.
+//   - Slots are pre-allocated, including each slot's event backing
+//     array after first use, so recording a span steady-state costs
+//     zero heap allocations.
+//   - Readers (scrapes of /system/trace) claim slots with the same
+//     CAS, copy, and release; they skip — not wait on — slots a writer
+//     holds mid-copy.
+type TraceRing struct {
+	slots []ringSlot
+	// seq counts slot reservations; slot for reservation i is i % len.
+	seq atomic.Uint64
+	// contended counts spans dropped because their slot was busy.
+	contended atomic.Uint64
+}
+
+type ringSlot struct {
+	// busy is the slot's claim flag: a single-owner spin claim taken
+	// by CAS and released by Store, which the race detector and the
+	// memory model both understand (unlike a seqlock's bare reads).
+	busy   atomic.Bool
+	seq    uint64 // reservation number of the held span
+	filled bool
+	span   Span // span.Events aliases a slot-owned backing array
+}
+
+// NewTraceRing returns a ring with the given capacity (minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{slots: make([]ringSlot, capacity)}
+}
+
+// Capacity reports the number of slots.
+func (r *TraceRing) Capacity() int { return len(r.slots) }
+
+// Written reports how many spans were successfully recorded.
+func (r *TraceRing) Written() uint64 { return r.seq.Load() - r.contended.Load() }
+
+// Contended reports how many spans were dropped because their slot
+// was held by a concurrent reader or a lapped writer.
+func (r *TraceRing) Contended() uint64 { return r.contended.Load() }
+
+// Put records a span. events are copied into the slot's own backing
+// array, so the caller's slice (typically a stack-allocated scratch
+// array) is never retained — which is what keeps the caller's request
+// state off the heap. Returns false when the slot was busy and the
+// span was dropped.
+func (r *TraceRing) Put(sp *Span, events []SpanEvent) bool {
+	idx := r.seq.Add(1) - 1
+	slot := &r.slots[idx%uint64(len(r.slots))]
+	if !slot.busy.CompareAndSwap(false, true) {
+		r.contended.Add(1)
+		return false
+	}
+	buf := slot.span.Events[:0] // keep the slot's backing array
+	slot.span = *sp
+	slot.span.Events = append(buf, events...)
+	slot.seq = idx
+	slot.filled = true
+	slot.busy.Store(false)
+	return true
+}
+
+// Snapshot copies the ring's current spans, newest first. Slots a
+// writer holds at the instant of the scan are skipped, not waited on.
+// Event slices are deep-copied so the caller's view is immune to the
+// slot being overwritten afterwards.
+func (r *TraceRing) Snapshot() []Span {
+	type entry struct {
+		seq  uint64
+		span Span
+	}
+	entries := make([]entry, 0, len(r.slots))
+	for i := range r.slots {
+		slot := &r.slots[i]
+		if !slot.busy.CompareAndSwap(false, true) {
+			continue
+		}
+		if slot.filled {
+			sp := slot.span
+			sp.Events = append([]SpanEvent(nil), slot.span.Events...)
+			entries = append(entries, entry{slot.seq, sp})
+		}
+		slot.busy.Store(false)
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].seq > entries[b].seq })
+	out := make([]Span, len(entries))
+	for i, e := range entries {
+		out[i] = e.span
+	}
+	return out
+}

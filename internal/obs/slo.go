@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the SLO monitor: multi-window error-budget burn rates
+// computed online from per-second counter buckets. The shape follows
+// the SRE-workbook multiwindow burn-rate alert — an objective allows a
+// bad-event budget (e.g. 1% of requests may be slower than the latency
+// target); the burn rate over a window is how many times faster than
+// allowed the budget is being consumed; a breach is a burn rate >= 1
+// sustained across both a short and a long window, which filters
+// blips without missing slow leaks.
+
+// The built-in objective names.
+const (
+	// SLOLatency: at least LatencyObjective of successful requests
+	// complete under LatencyThreshold.
+	SLOLatency = "latency"
+	// SLOColdStart: at most ColdStartBudget of served requests pay a
+	// cold start.
+	SLOColdStart = "coldstart"
+	// SLOGoodput: at most ErrorBudget of all requests end in 5xx.
+	SLOGoodput = "goodput"
+)
+
+// SLOConfig declares the objectives the monitor tracks. A zero budget
+// (or threshold) disables that objective.
+type SLOConfig struct {
+	// LatencyThreshold is the latency target: a 2xx request slower
+	// than this is a bad event for the latency objective.
+	LatencyThreshold time.Duration
+	// LatencyObjective is the fraction of successful requests that
+	// must meet the threshold (default 0.99 when a threshold is set) —
+	// i.e. the threshold is the implied p99 target.
+	LatencyObjective float64
+	// ColdStartBudget is the allowed fraction of served requests that
+	// may pay a cold start (0 disables the objective).
+	ColdStartBudget float64
+	// ErrorBudget is the allowed fraction of requests that may end in
+	// 5xx (default 0.001 = 99.9% goodput; negative disables).
+	ErrorBudget float64
+	// Windows are the burn-rate evaluation windows, ascending
+	// (default 1m, 5m, 30m). The longest window bounds the monitor's
+	// memory: one 56-byte bucket per second of it.
+	Windows []time.Duration
+	// Now is the clock; tests inject a fake. Default time.Now.
+	Now func() time.Time
+}
+
+// sloEpochResetting marks a bucket mid-recycle: writers that lose the
+// recycle race spin until the winner publishes the new epoch.
+const sloEpochResetting = math.MinInt64
+
+// sloBucket accumulates one second of request outcomes. All fields
+// are atomics: recording is lock-free from any number of handlers.
+type sloBucket struct {
+	epoch atomic.Int64 // unix second held, or sloEpochResetting
+	// Denominators: total requests, 2xx requests, requests that
+	// reached a watchdog. Numerators: slow 2xx, cold served, 5xx.
+	total  atomic.Uint64
+	ok     atomic.Uint64
+	served atomic.Uint64
+	slow   atomic.Uint64
+	cold   atomic.Uint64
+	errs   atomic.Uint64
+}
+
+// SLOMonitor ingests per-request outcomes and answers burn-rate
+// queries over its windows. Record is the hot-path entry: resolve the
+// current second's bucket (one atomic load in the common case) and
+// bump up to four atomic counters — no locks, no allocation.
+type SLOMonitor struct {
+	cfg     SLOConfig
+	buckets []sloBucket
+
+	// Pre-resolved gauge handles, nil until Instrument.
+	burn    *GaugeVec // hotc_slo_burn_rate{objective, window}
+	badFrac *GaugeVec // hotc_slo_bad_fraction{objective, window}
+	breach  *GaugeVec // hotc_slo_breach{objective}
+	budget  *GaugeVec // hotc_slo_budget{objective}
+}
+
+// NewSLOMonitor builds a monitor, applying defaults: objective 0.99
+// for latency, error budget 0.001, windows 1m/5m/30m.
+func NewSLOMonitor(cfg SLOConfig) *SLOMonitor {
+	if cfg.LatencyThreshold > 0 && cfg.LatencyObjective <= 0 {
+		cfg.LatencyObjective = 0.99
+	}
+	if cfg.ErrorBudget == 0 {
+		cfg.ErrorBudget = 0.001
+	}
+	if len(cfg.Windows) == 0 {
+		cfg.Windows = []time.Duration{time.Minute, 5 * time.Minute, 30 * time.Minute}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	horizon := cfg.Windows[len(cfg.Windows)-1] / time.Second
+	m := &SLOMonitor{cfg: cfg, buckets: make([]sloBucket, horizon+2)}
+	for i := range m.buckets {
+		m.buckets[i].epoch.Store(-1)
+	}
+	return m
+}
+
+// bucket resolves (recycling if stale) the bucket for unix second
+// sec. Returns nil when the bucket already moved past sec — a writer
+// descheduled for longer than the whole horizon — whose observation
+// is then dropped rather than misfiled.
+func (m *SLOMonitor) bucket(sec int64) *sloBucket {
+	b := &m.buckets[sec%int64(len(m.buckets))]
+	for {
+		e := b.epoch.Load()
+		switch {
+		case e == sec:
+			return b
+		case e == sloEpochResetting:
+			continue // recycle in progress; it publishes in a few stores
+		case e > sec:
+			return nil
+		default:
+			if b.epoch.CompareAndSwap(e, sloEpochResetting) {
+				b.total.Store(0)
+				b.ok.Store(0)
+				b.served.Store(0)
+				b.slow.Store(0)
+				b.cold.Store(0)
+				b.errs.Store(0)
+				b.epoch.Store(sec)
+				return b
+			}
+		}
+	}
+}
+
+// Record ingests one completed request: its HTTP status, whether it
+// reached a watchdog, whether it paid a cold start, and its
+// end-to-end latency.
+func (m *SLOMonitor) Record(status int, served, cold bool, latency time.Duration) {
+	b := m.bucket(m.cfg.Now().Unix())
+	if b == nil {
+		return
+	}
+	b.total.Add(1)
+	if status >= 200 && status < 300 {
+		b.ok.Add(1)
+		if m.cfg.LatencyThreshold > 0 && latency > m.cfg.LatencyThreshold {
+			b.slow.Add(1)
+		}
+	}
+	if status >= 500 {
+		b.errs.Add(1)
+	}
+	if served {
+		b.served.Add(1)
+		if cold {
+			b.cold.Add(1)
+		}
+	}
+}
+
+// SLOWindow is one objective's burn state over one window.
+type SLOWindow struct {
+	// Seconds is the window length.
+	Seconds int `json:"seconds"`
+	// Total and Bad are the objective's denominator and bad-event
+	// counts inside the window.
+	Total uint64 `json:"total"`
+	Bad   uint64 `json:"bad"`
+	// BadFraction is Bad/Total (0 when the window is empty).
+	BadFraction float64 `json:"badFraction"`
+	// BurnRate is BadFraction over the allowed budget: 1.0 burns the
+	// budget exactly as fast as the objective allows, higher is a
+	// leak.
+	BurnRate float64 `json:"burnRate"`
+}
+
+// SLOObjective is one objective's full burn report.
+type SLOObjective struct {
+	Name string `json:"name"`
+	// Budget is the allowed bad fraction.
+	Budget  float64     `json:"budget"`
+	Windows []SLOWindow `json:"windows"`
+	// Breach is true when the burn rate is >= 1 in both the shortest
+	// and the longest window (the multiwindow rule: sustained, not a
+	// blip).
+	Breach bool `json:"breach"`
+}
+
+// SLOReport is the /system/slo payload.
+type SLOReport struct {
+	Objectives []SLOObjective `json:"objectives"`
+}
+
+// windowCounts sums bucket counters over the trailing window ending
+// at nowSec.
+type sloCounts struct {
+	total, ok, served, slow, cold, errs uint64
+}
+
+func (m *SLOMonitor) windowCounts(nowSec int64, window time.Duration) sloCounts {
+	var c sloCounts
+	secs := int64(window / time.Second)
+	for s := nowSec - secs + 1; s <= nowSec; s++ {
+		b := &m.buckets[s%int64(len(m.buckets))]
+		if b.epoch.Load() != s {
+			continue // never written or already recycled
+		}
+		c.total += b.total.Load()
+		c.ok += b.ok.Load()
+		c.served += b.served.Load()
+		c.slow += b.slow.Load()
+		c.cold += b.cold.Load()
+		c.errs += b.errs.Load()
+	}
+	return c
+}
+
+// Report computes every enabled objective's burn rates now.
+func (m *SLOMonitor) Report() SLOReport {
+	nowSec := m.cfg.Now().Unix()
+	counts := make([]sloCounts, len(m.cfg.Windows))
+	for i, w := range m.cfg.Windows {
+		counts[i] = m.windowCounts(nowSec, w)
+	}
+
+	var rep SLOReport
+	objective := func(name string, budget float64, pick func(sloCounts) (total, bad uint64)) {
+		obj := SLOObjective{Name: name, Budget: budget}
+		for i, w := range m.cfg.Windows {
+			total, bad := pick(counts[i])
+			win := SLOWindow{Seconds: int(w / time.Second), Total: total, Bad: bad}
+			if total > 0 {
+				win.BadFraction = float64(bad) / float64(total)
+				win.BurnRate = win.BadFraction / budget
+			}
+			obj.Windows = append(obj.Windows, win)
+		}
+		obj.Breach = obj.Windows[0].BurnRate >= 1 &&
+			obj.Windows[len(obj.Windows)-1].BurnRate >= 1
+		rep.Objectives = append(rep.Objectives, obj)
+	}
+
+	if m.cfg.LatencyThreshold > 0 {
+		objective(SLOLatency, 1-m.cfg.LatencyObjective,
+			func(c sloCounts) (uint64, uint64) { return c.ok, c.slow })
+	}
+	if m.cfg.ColdStartBudget > 0 {
+		objective(SLOColdStart, m.cfg.ColdStartBudget,
+			func(c sloCounts) (uint64, uint64) { return c.served, c.cold })
+	}
+	if m.cfg.ErrorBudget > 0 {
+		objective(SLOGoodput, m.cfg.ErrorBudget,
+			func(c sloCounts) (uint64, uint64) { return c.total, c.errs })
+	}
+	return rep
+}
+
+// Instrument registers the hotc_slo_* gauge families on the registry.
+// Sync refreshes them; the daemon calls it on every /metrics scrape so
+// the exported burn rates are as fresh as the scrape.
+func (m *SLOMonitor) Instrument(reg *Registry) {
+	m.burn = reg.GaugeVec("hotc_slo_burn_rate",
+		"Error-budget burn rate per objective and window (1.0 = burning exactly the allowed budget).",
+		"objective", "window")
+	m.badFrac = reg.GaugeVec("hotc_slo_bad_fraction",
+		"Fraction of bad events per objective and window.",
+		"objective", "window")
+	m.breach = reg.GaugeVec("hotc_slo_breach",
+		"Whether the objective is breaching (burn rate >= 1 in both the shortest and longest window).",
+		"objective")
+	m.budget = reg.GaugeVec("hotc_slo_budget",
+		"Allowed bad-event fraction per objective.",
+		"objective")
+}
+
+// Sync recomputes the report and pushes it into the registered
+// gauges. No-op before Instrument. Returns the report so callers
+// serving /system/slo refresh the gauges and the JSON from one pass.
+func (m *SLOMonitor) Sync() SLOReport {
+	rep := m.Report()
+	if m.burn == nil {
+		return rep
+	}
+	for _, obj := range rep.Objectives {
+		m.budget.With(obj.Name).Set(obj.Budget)
+		breach := 0.0
+		if obj.Breach {
+			breach = 1
+		}
+		m.breach.With(obj.Name).Set(breach)
+		for _, w := range obj.Windows {
+			label := (time.Duration(w.Seconds) * time.Second).String()
+			m.burn.With(obj.Name, label).Set(w.BurnRate)
+			m.badFrac.With(obj.Name, label).Set(w.BadFraction)
+		}
+	}
+	return rep
+}

@@ -37,6 +37,21 @@ type Span struct {
 	// Err is the failure message, empty on success.
 	Err string `json:"err,omitempty"`
 
+	// TraceID is the W3C trace ID (32 lowercase hex) shared by every
+	// span of a distributed request; set on the live path, where it is
+	// accepted from or propagated as a traceparent header.
+	TraceID string `json:"traceId,omitempty"`
+	// SpanID is this span's own 16-hex-char W3C span ID.
+	SpanID string `json:"spanId,omitempty"`
+	// Tenant is the admission-control tenant the request billed to.
+	Tenant string `json:"tenant,omitempty"`
+	// Status is the HTTP status the client received (live path only).
+	Status int `json:"status,omitempty"`
+	// KeepReason records why the tail sampler retained this span
+	// (error|shed|cold|slow|sampled); empty for sim-path spans, which
+	// are always recorded.
+	KeepReason string `json:"keepReason,omitempty"`
+
 	// ClientIn is moment (1): the request arrives at the gateway.
 	ClientIn time.Duration `json:"clientInNs"`
 	// GatewayIn is when the gateway admitted the request past any

@@ -20,4 +20,16 @@ if [ -n "$bad" ]; then
     echo "$bad" >&2
     exit 1
 fi
+
+# The tracing/SLO observability surface is part of the public contract:
+# fail if a refactor silently drops one of its metric families.
+for fam in hotc_trace_kept_total hotc_trace_sampled_out_total \
+           hotc_trace_ring_dropped_total hotc_slo_burn_rate \
+           hotc_slo_bad_fraction hotc_slo_breach hotc_slo_budget \
+           hotc_build_info hotc_uptime_seconds; do
+    if ! grep -rq --include='*.go' --exclude='*_test.go' "\"$fam\"" cmd internal; then
+        echo "lint-metrics: required metric family $fam is not registered anywhere" >&2
+        exit 1
+    fi
+done
 echo "lint-metrics: OK"

@@ -22,17 +22,49 @@ echo "== zero-alloc regression guard (non-race: AllocsPerRun)"
 # The race run above skips these: the detector's instrumentation
 # perturbs allocation counts. This non-race pass asserts the pooled
 # copy and the []byte shim stay at zero heap allocations per request.
-go test -run 'ZeroAlloc' -count=1 ./internal/faas/live/
+go test -run 'ZeroAlloc' -count=1 ./internal/faas/live/ ./internal/obs/
 echo "== load-generator smoke (2s self-hosted run)"
 # hotc-load boots an in-process daemon on a loopback socket and drives
 # it open-loop for 2s at a non-saturating rate: the run must complete
 # with non-zero goodput and zero 5xx, proving the admission tier and
 # the generator itself against a real socket path.
 LOADTMP="$(mktemp -d)"
-trap 'rm -rf "$LOADTMP"' EXIT
+HOTCD_PID=""
+trap 'if [ -n "$HOTCD_PID" ]; then kill "$HOTCD_PID" 2>/dev/null || true; fi; rm -rf "$LOADTMP"' EXIT
 go build -o "$LOADTMP/hotc-load" ./cmd/hotc-load
 "$LOADTMP/hotc-load" -rate 50 -duration 2s -assert-min-ok 0.9 -assert-max-5xx 0 \
 	-out "$LOADTMP/smoke.json"
+echo "== prometheus-exposition check (strict parse of a live hotcd /metrics)"
+# Boot a real daemon, drive a traced request so histograms, exemplars
+# and the hotc_trace_*/hotc_slo_* families are live, then run the
+# strict exposition parser (hotc-trace metrics) over the actual scrape
+# output. A malformed line — bad escape, non-cumulative bucket,
+# misplaced exemplar — fails here, not in a dashboard.
+go build -o "$LOADTMP/hotcd" ./cmd/hotcd
+go build -o "$LOADTMP/hotc-trace" ./cmd/hotc-trace
+"$LOADTMP/hotcd" -addr 127.0.0.1:0 >"$LOADTMP/hotcd.log" 2>&1 &
+HOTCD_PID=$!
+BASE=""
+i=0
+while [ $i -lt 50 ]; do
+	BASE="$(sed -n 's/^hotcd listening on //p' "$LOADTMP/hotcd.log" | head -n 1)"
+	[ -n "$BASE" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$BASE" ]; then
+	echo "verify: hotcd did not come up" >&2
+	cat "$LOADTMP/hotcd.log" >&2
+	exit 1
+fi
+curl -sf -X POST "$BASE/function/echo" -d 'verify' \
+	-H 'traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01' >/dev/null
+curl -sf -X POST "$BASE/function/qr" -d 'verify' >/dev/null
+"$LOADTMP/hotc-trace" metrics "$BASE/metrics"
+"$LOADTMP/hotc-trace" spans "$BASE/system/trace" >/dev/null
+kill "$HOTCD_PID" 2>/dev/null || true
+wait "$HOTCD_PID" 2>/dev/null || true
+HOTCD_PID=""
 echo "== metric-name lint"
 ./scripts/lint-metrics.sh
 echo "verify: OK"
