@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-contention bench-datapath bench-saturation lint-metrics
+.PHONY: build test verify bench bench-contention bench-datapath bench-saturation bench-cluster lint-metrics
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,8 @@ bench-datapath:
 # without admission control, results written to BENCH_saturation.json.
 bench-saturation:
 	./scripts/bench-saturation.sh
+
+# Multi-node routing suite: hotc-router over 3 hotcd nodes, warm-aware
+# placement vs round-robin, results written to BENCH_cluster.json.
+bench-cluster:
+	./scripts/bench-cluster.sh

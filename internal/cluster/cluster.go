@@ -66,13 +66,20 @@ type Node struct {
 	HotC    *core.HotC
 	Gateway *faas.Gateway
 
-	inFlight int
-	served   int
-	failed   bool
+	inFlight  int
+	served    int
+	failedReq int
+	failed    bool
 }
 
-// Served reports how many requests the node has completed.
+// Served reports how many requests the node has completed
+// successfully. Failures are tracked separately (FailedRequests) so
+// load accounting never mistakes error churn for useful work.
 func (n *Node) Served() int { return n.served }
+
+// FailedRequests reports how many requests the node completed with an
+// error.
+func (n *Node) FailedRequests() int { return n.failedReq }
 
 // Options configure a Cluster.
 type Options struct {
@@ -187,12 +194,20 @@ func (c *Cluster) FailNode(i int) bool {
 	return true
 }
 
-// RecoverNode brings a failed node back.
+// RecoverNode brings a failed node back and republishes its warm
+// runtimes: the node's pool survived the (simulated) outage, so
+// re-advertising every registered key restores reuse-affinity traffic
+// immediately instead of waiting for the node to win a least-loaded
+// tie-break on each key.
 func (c *Cluster) RecoverNode(i int) bool {
 	if i < 0 || i >= len(c.nodes) {
 		return false
 	}
-	c.nodes[i].failed = false
+	node := c.nodes[i]
+	node.failed = false
+	for _, spec := range c.specs {
+		c.publish(node, spec.Key())
+	}
 	return true
 }
 
@@ -317,8 +332,16 @@ func (c *Cluster) Handle(name string, req trace.Request, done func(Result)) {
 	node.inFlight++
 	node.Gateway.Handle(name, req, func(r faas.Result) {
 		node.inFlight--
-		node.served++
-		if spec, ok := c.specs[name]; ok {
+		if r.Err == nil {
+			node.served++
+		} else {
+			node.failedReq++
+		}
+		// A node that failed while this request was in flight must not
+		// republish: FailNode just deleted its directory entries, and
+		// resurrecting them would keep pulling reuse-affinity traffic
+		// onto a dead node.
+		if spec, ok := c.specs[name]; ok && !node.failed {
 			c.publish(node, spec.Key())
 		}
 		done(Result{Result: r, Node: node.Name})

@@ -131,6 +131,111 @@ func TestNodeFailureRoutesAround(t *testing.T) {
 	}
 }
 
+// Regression: FailNode deletes the node's directory entries, but the
+// completion callback of a request already in flight used to republish
+// them unconditionally — a failed node kept attracting reuse-affinity
+// traffic. The publish is now gated on the node's failed flag.
+func TestFailNodeWithRequestInFlightKeepsDirectoryClean(t *testing.T) {
+	c := newCluster(t, Options{Nodes: 2, Routing: ReuseAffinity})
+	key := c.specs["qr"].Key()
+	var res Result
+	completed := false
+	c.sched.At(0, func() {
+		c.Handle("qr", trace.Request{}, func(r Result) {
+			res = r
+			completed = true
+		})
+	})
+	// 1ns later the cold start is still running: the node fails with
+	// the request in flight.
+	c.sched.At(1, func() {
+		if !c.FailNode(0) {
+			t.Error("FailNode rejected valid index")
+		}
+	})
+	for !completed && c.sched.Step() {
+	}
+	if !completed {
+		t.Fatal("request never completed")
+	}
+	if res.Node != "node-0" {
+		t.Fatalf("request served by %s, want node-0", res.Node)
+	}
+	if got := c.warmOn(c.nodes[0], key); got != 0 {
+		t.Fatalf("failed node still advertises %d warm runtimes", got)
+	}
+}
+
+// Regression: served used to count every completion, errors included,
+// so LoadImbalance and Served mistook failure churn for useful work.
+func TestServedCountsSuccessesOnly(t *testing.T) {
+	c := newCluster(t, Options{Nodes: 2, Routing: RoundRobin})
+	if _, err := c.Run(serialSchedule(4, time.Minute), func(int) string { return "qr" }); err != nil {
+		t.Fatal(err)
+	}
+	if imb := c.LoadImbalance(); imb != 0 {
+		t.Fatalf("balanced success imbalance = %v, want 0", imb)
+	}
+	// Requests for an undeployed function fail on whichever node they
+	// land on; neither served counts nor imbalance may move.
+	results, err := c.Run(serialSchedule(3, time.Minute), func(int) string { return "ghost" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err == nil {
+			t.Fatal("ghost request succeeded")
+		}
+	}
+	if imb := c.LoadImbalance(); imb != 0 {
+		t.Fatalf("failures skewed imbalance to %v, served=%v", imb, servedCounts(c))
+	}
+	served, failed := 0, 0
+	for _, n := range c.Nodes() {
+		served += n.Served()
+		failed += n.FailedRequests()
+	}
+	if served != 4 || failed != 3 {
+		t.Fatalf("served/failed = %d/%d, want 4/3", served, failed)
+	}
+}
+
+// Regression: RecoverNode used to flip the failed flag without
+// republishing warm-runtime entries, so a recovered node got no
+// reuse-affinity traffic until least-loaded luck sent it a request.
+func TestRecoveryRestoresAffinityWithinOneRequest(t *testing.T) {
+	c := newCluster(t, Options{Nodes: 3, Routing: ReuseAffinity})
+	first, err := c.Run(serialSchedule(4, time.Minute), func(int) string { return "qr" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmNode := first[len(first)-1].Node // affinity pinned the stream here
+	idx := -1
+	for i, n := range c.Nodes() {
+		if n.Name == warmNode {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("unknown serving node %q", warmNode)
+	}
+	if !c.FailNode(idx) || !c.RecoverNode(idx) {
+		t.Fatal("fail/recover rejected valid index")
+	}
+	// 30s of headroom lets the warm runtime finish post-request cleanup
+	// (an At of 0 would arrive while it is still scrubbing).
+	after, err := c.Run([]trace.Request{{At: 30 * time.Second}}, func(int) string { return "qr" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0].Node != warmNode {
+		t.Fatalf("post-recovery request routed to %s, want recovered %s", after[0].Node, warmNode)
+	}
+	if !after[0].Reused {
+		t.Fatal("post-recovery request did not reuse the node's warm runtime")
+	}
+}
+
 func TestAllNodesFailed(t *testing.T) {
 	c := newCluster(t, Options{Nodes: 2, Routing: LeastLoaded})
 	c.FailNode(0)

@@ -44,6 +44,39 @@ func (r *replica) put(key string, v Versioned) bool {
 	return true
 }
 
+// stage applies v like put but returns the displaced state so the
+// coordinator can roll the write back on a quorum miss.
+func (r *replica) stage(key string, v Versioned) (old Versioned, had, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.up {
+		return Versioned{}, false, false
+	}
+	old, had = r.data[key]
+	if !had || v.Version > old.Version {
+		r.data[key] = v
+	}
+	return old, had, true
+}
+
+// unstage undoes a staged write: if the replica still holds exactly
+// version v, the displaced state is restored (or the key removed when
+// there was none). A replica that moved on — crashed and lost the
+// value, or accepted a newer version — is left alone.
+func (r *replica) unstage(key string, v Versioned, old Versioned, had bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.data[key]
+	if !ok || cur.Version != v.Version {
+		return
+	}
+	if had {
+		r.data[key] = old
+	} else {
+		delete(r.data, key)
+	}
+}
+
 func (r *replica) get(key string) (Versioned, bool, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -132,20 +165,36 @@ func (s *Store) Delete(key string) error {
 	return s.write(key, "", true)
 }
 
+// write replicates a versioned value, succeeding once W replicas
+// acknowledge. A write that misses its quorum must be invisible to
+// later reads — the failure contract is "this did not happen", not
+// "this happened on whichever replicas were reachable" — so each
+// replica stages the value and the coordinator rolls every staged copy
+// back when the quorum falls short. s.mu is held across the whole
+// operation: writes serialize (they already shared the logical clock),
+// and no competing write can interleave with a rollback.
 func (s *Store) write(key, value string, tombstone bool) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.clock++
 	v := Versioned{Value: value, Version: s.clock, Tombstone: tombstone}
-	s.mu.Unlock()
 
-	acks := 0
+	type stagedWrite struct {
+		r   *replica
+		old Versioned
+		had bool
+	}
+	var staged []stagedWrite
 	for _, r := range s.replicas {
-		if r.put(key, v) {
-			acks++
+		if old, had, ok := r.stage(key, v); ok {
+			staged = append(staged, stagedWrite{r, old, had})
 		}
 	}
-	if acks < s.writeQ {
-		return ErrQuorum{Op: "write", Got: acks, Need: s.writeQ}
+	if len(staged) < s.writeQ {
+		for _, st := range staged {
+			st.r.unstage(key, v, st.old, st.had)
+		}
+		return ErrQuorum{Op: "write", Got: len(staged), Need: s.writeQ}
 	}
 	return nil
 }

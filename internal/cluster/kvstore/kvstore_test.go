@@ -101,6 +101,43 @@ func TestQuorumLoss(t *testing.T) {
 	}
 }
 
+// Regression: write used to apply the value to every reachable
+// replica before checking the quorum, so a Put that returned ErrQuorum
+// was still visible to later Gets — a dirty read of a failed write.
+// Failed writes now roll back and must be invisible.
+func TestFailedWriteIsInvisible(t *testing.T) {
+	s := New(3, 2, 2)
+	s.Put("a", "committed")
+	s.SetUp(1, false)
+	s.SetUp(2, false) // one replica up: W=2 unreachable
+	var qe ErrQuorum
+	if err := s.Put("a", "dirty"); !errors.As(err, &qe) {
+		t.Fatalf("Put with W unreachable = %v, want quorum error", err)
+	}
+	if err := s.Delete("a"); !errors.As(err, &qe) {
+		t.Fatalf("Delete with W unreachable = %v, want quorum error", err)
+	}
+	s.SetUp(1, true)
+	s.SetUp(2, true)
+	// The failed write and delete must have left no trace on the
+	// replica that was reachable when they were attempted.
+	v, ok, err := s.Get("a")
+	if err != nil || !ok || v != "committed" {
+		t.Fatalf("Get after failed write = %q/%v/%v, want the committed value", v, ok, err)
+	}
+	// A failed write of a brand-new key must not create it.
+	s.SetUp(1, false)
+	s.SetUp(2, false)
+	if err := s.Put("fresh", "x"); !errors.As(err, &qe) {
+		t.Fatalf("Put = %v, want quorum error", err)
+	}
+	s.SetUp(1, true)
+	s.SetUp(2, true)
+	if _, ok, _ := s.Get("fresh"); ok {
+		t.Fatal("failed write created a phantom key")
+	}
+}
+
 // The critical scenario: a write lands while a replica is down; after
 // the replica returns (without repair), a quorum read must still see
 // the latest value because R+W > N guarantees overlap with the write

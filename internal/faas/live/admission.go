@@ -27,6 +27,10 @@ const (
 	// RejectedHeader reports why an admission-rejected request was
 	// refused (queue_full, deadline, stopped).
 	RejectedHeader = "X-Hotc-Rejected"
+	// DrainingHeader marks 503 refusals from a draining gateway (see
+	// Gateway.SetDraining): the router reads it as "place elsewhere,
+	// permanently, until this node undrains" rather than "retry later".
+	DrainingHeader = "X-Hotc-Draining"
 )
 
 // defaultInstanceMemBytes is the per-warm-instance memory estimate the

@@ -454,6 +454,7 @@ func (d *Daemon) routes() *http.ServeMux {
 			Version       string                     `json:"version"`
 			GoVersion     string                     `json:"goVersion"`
 			UptimeSeconds float64                    `json:"uptimeSeconds"`
+			Draining      bool                       `json:"draining"`
 			Stats         Stats                      `json:"stats"`
 			Warm          map[string]int             `json:"warmInstances"`
 			Forecast      map[string]float64         `json:"forecast"`
@@ -463,9 +464,27 @@ func (d *Daemon) routes() *http.ServeMux {
 			WarmMemory    WarmMemoryStats            `json:"warmMemory,omitempty"`
 			Trace         TraceStats                 `json:"trace"`
 		}{Version, runtime.Version(), time.Since(d.started).Seconds(),
-			d.gw.Stats(), warm, d.gw.Forecasts(), d.gw.ResilienceCounters(),
-			d.gw.WarmAges(time.Now()), d.gw.AdmissionStats(), d.gw.WarmMemory(),
-			d.gw.TraceStats()})
+			d.gw.Draining(), d.gw.Stats(), warm, d.gw.Forecasts(),
+			d.gw.ResilienceCounters(), d.gw.WarmAges(time.Now()),
+			d.gw.AdmissionStats(), d.gw.WarmMemory(), d.gw.TraceStats()})
+	})
+	mux.HandleFunc("/system/drain", func(w http.ResponseWriter, r *http.Request) {
+		// POST drains (stop accepting placements, finish in-flight),
+		// DELETE undrains, GET reports. The flag also surfaces in
+		// /system/stats, which is what the router's poller watches.
+		switch r.Method {
+		case http.MethodPost:
+			d.gw.SetDraining(true)
+		case http.MethodDelete:
+			d.gw.SetDraining(false)
+		case http.MethodGet:
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, struct {
+			Draining bool `json:"draining"`
+		}{d.gw.Draining()})
 	})
 	mux.HandleFunc("/system/trace", func(w http.ResponseWriter, r *http.Request) {
 		spans := d.gw.TraceSpans()

@@ -501,3 +501,94 @@ func TestPprofGatedByConfig(t *testing.T) {
 		t.Fatalf("pprof enabled but GET /debug/pprof/ = %d", resp.StatusCode)
 	}
 }
+
+// doMethod issues a bodyless request with an explicit method.
+func doMethod(t *testing.T, method, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// Drain must complete in-flight work while refusing new placements,
+// and undrain must restore service.
+func TestDrainCompletesInFlightAndRefusesNew(t *testing.T) {
+	d, base := startDaemon(t, PoolConfig{})
+	if err := d.Deploy(DeploySpec{Name: "sleep", Handler: "sleep"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A slow request in flight when the drain lands.
+	type outcome struct {
+		status int
+		body   string
+	}
+	inFlight := make(chan outcome, 1)
+	go func() {
+		resp, err := http.Post(base+"/function/sleep", "text/plain", strings.NewReader("300"))
+		if err != nil {
+			inFlight <- outcome{}
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		inFlight <- outcome{resp.StatusCode, string(b)}
+	}()
+	time.Sleep(50 * time.Millisecond) // the sleep handler is now executing
+
+	if resp := doMethod(t, http.MethodPost, base+"/system/drain"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain status %d", resp.StatusCode)
+	}
+	if !d.gw.Draining() {
+		t.Fatal("gateway not draining after POST /system/drain")
+	}
+
+	// New placements are refused with the drain marker...
+	ref := postJSON(t, base+"/function/sleep", "1")
+	if ref.StatusCode != http.StatusServiceUnavailable || ref.Header.Get(DrainingHeader) != "true" {
+		t.Fatalf("draining refusal = %d, %s=%q; want 503 with drain header",
+			ref.StatusCode, DrainingHeader, ref.Header.Get(DrainingHeader))
+	}
+
+	// ...while the in-flight request runs to completion.
+	got := <-inFlight
+	if got.status != http.StatusOK || got.body != "slept 300ms" {
+		t.Fatalf("in-flight request during drain = %d %q, want it to complete", got.status, got.body)
+	}
+
+	// /system/stats advertises the drain (the router's poll signal).
+	stats, err := http.Get(base + "/system/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Draining bool `json:"draining"`
+	}
+	if err := json.NewDecoder(stats.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	stats.Body.Close()
+	if !st.Draining {
+		t.Fatal("stats did not report draining")
+	}
+
+	// Undrain restores service.
+	if resp := doMethod(t, http.MethodDelete, base+"/system/drain"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("undrain status %d", resp.StatusCode)
+	}
+	ok := postJSON(t, base+"/function/sleep", "1")
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("post-undrain invoke = %d, want 200", ok.StatusCode)
+	}
+
+	if resp := doMethod(t, http.MethodPut, base+"/system/drain"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT /system/drain = %d, want 405", resp.StatusCode)
+	}
+}

@@ -320,6 +320,12 @@ type Gateway struct {
 	// background loops read it lock-free.
 	stopped atomic.Bool
 
+	// draining, while set, refuses new /function/ placements with 503 +
+	// X-Hotc-Draining while in-flight work (and the warm pool, the
+	// control loops, the management API) keeps running — the node-level
+	// half of a routed cluster's drain. Reversible, read lock-free.
+	draining atomic.Bool
+
 	// ctl configures adaptive control (see EnableControl). It is
 	// written before Start and read-only afterwards; ctlRunning (under
 	// smu) reports that background loops were launched.
@@ -536,6 +542,18 @@ func (g *Gateway) Stop() {
 	g.wg.Wait()
 }
 
+// SetDraining marks the gateway as (not) accepting new function
+// placements. While draining, /function/ requests are refused with
+// 503 + the X-Hotc-Draining header and an honest Retry-After is
+// deliberately absent (the router should place elsewhere, not retry
+// here); requests already admitted run to completion and return their
+// instances to the warm pool as usual. Drain is reversible: a router
+// rebalance or rolling restart undrains when done.
+func (g *Gateway) SetDraining(on bool) { g.draining.Store(on) }
+
+// Draining reports whether the gateway is refusing new placements.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
 // Stats sums the per-shard counters into a snapshot. Each shard is
 // locked for a handful of integer reads; requests for other functions
 // proceed untouched and requests for the sampled function wait only
@@ -673,6 +691,18 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	if tr != nil {
 		tr.begin(&rt, r, start)
 		w.Header().Set(TraceIDHeader, rt.tc.TraceIDString())
+	}
+
+	// A draining node refuses every new placement before spending
+	// anything on it — in-flight requests (already past this check)
+	// run to completion, which is what makes drain lossless.
+	if g.draining.Load() {
+		w.Header().Set(DrainingHeader, "true")
+		s.observe("rejected", start)
+		http.Error(w, fmt.Sprintf("live: draining, not accepting %q", name), http.StatusServiceUnavailable)
+		g.traceEvent(&rt, "drain-rejected", "node draining")
+		g.finishRequest(s, &rt, http.StatusServiceUnavailable, "")
+		return
 	}
 
 	// Resolve the request's deadline (header override, else the

@@ -30,7 +30,8 @@ echo "== load-generator smoke (2s self-hosted run)"
 # the generator itself against a real socket path.
 LOADTMP="$(mktemp -d)"
 HOTCD_PID=""
-trap 'if [ -n "$HOTCD_PID" ]; then kill "$HOTCD_PID" 2>/dev/null || true; fi; rm -rf "$LOADTMP"' EXIT
+SMOKE_PIDS=""
+trap 'if [ -n "$HOTCD_PID" ]; then kill "$HOTCD_PID" 2>/dev/null || true; fi; for p in $SMOKE_PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$LOADTMP"' EXIT
 go build -o "$LOADTMP/hotc-load" ./cmd/hotc-load
 "$LOADTMP/hotc-load" -rate 50 -duration 2s -assert-min-ok 0.9 -assert-max-5xx 0 \
 	-out "$LOADTMP/smoke.json"
@@ -65,6 +66,74 @@ curl -sf -X POST "$BASE/function/qr" -d 'verify' >/dev/null
 kill "$HOTCD_PID" 2>/dev/null || true
 wait "$HOTCD_PID" 2>/dev/null || true
 HOTCD_PID=""
+echo "== router smoke (hotc-router + 2 hotcd: routed request round-trips with trace headers)"
+# Boot a two-node cluster behind the router and drive one traced
+# request through it: the response must come back 200 with the
+# caller's trace ID echoed (one trace crosses router -> node ->
+# watchdog) and the serving node named in X-Hotc-Node.
+go build -o "$LOADTMP/hotc-router" ./cmd/hotc-router
+N1_BASE=""
+N2_BASE=""
+for n in 1 2; do
+	"$LOADTMP/hotcd" -addr 127.0.0.1:0 >"$LOADTMP/node$n.log" 2>&1 &
+	SMOKE_PIDS="$SMOKE_PIDS $!"
+done
+for n in 1 2; do
+	base=""
+	i=0
+	while [ $i -lt 50 ]; do
+		base="$(sed -n 's/^hotcd listening on //p' "$LOADTMP/node$n.log" | head -n 1)"
+		[ -n "$base" ] && break
+		i=$((i + 1))
+		sleep 0.1
+	done
+	if [ -z "$base" ]; then
+		echo "verify: smoke hotcd $n did not come up" >&2
+		cat "$LOADTMP/node$n.log" >&2
+		exit 1
+	fi
+	eval "N${n}_BASE=\$base"
+done
+"$LOADTMP/hotc-router" -addr 127.0.0.1:0 -nodes "$N1_BASE,$N2_BASE" \
+	>"$LOADTMP/router.log" 2>&1 &
+SMOKE_PIDS="$SMOKE_PIDS $!"
+ROUTER_BASE=""
+i=0
+while [ $i -lt 50 ]; do
+	ROUTER_BASE="$(sed -n 's/^hotc-router listening on //p' "$LOADTMP/router.log" | head -n 1)"
+	[ -n "$ROUTER_BASE" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$ROUTER_BASE" ]; then
+	echo "verify: hotc-router did not come up" >&2
+	cat "$LOADTMP/router.log" >&2
+	exit 1
+fi
+SMOKE_TRACE=4bf92f3577b34da6a3ce929d0e0e4736
+curl -sf -D "$LOADTMP/routed-headers" -o "$LOADTMP/routed-body" \
+	-X POST "$ROUTER_BASE/function/echo" -d 'routed' \
+	-H "traceparent: 00-$SMOKE_TRACE-00f067aa0ba902b7-01"
+grep -q '^routed$' "$LOADTMP/routed-body" || {
+	echo "verify: routed echo body wrong" >&2
+	cat "$LOADTMP/routed-body" >&2
+	exit 1
+}
+grep -qi "^x-hotc-trace-id: $SMOKE_TRACE" "$LOADTMP/routed-headers" || {
+	echo "verify: routed response lost the trace ID" >&2
+	cat "$LOADTMP/routed-headers" >&2
+	exit 1
+}
+grep -qi '^x-hotc-node: ' "$LOADTMP/routed-headers" || {
+	echo "verify: routed response names no serving node" >&2
+	cat "$LOADTMP/routed-headers" >&2
+	exit 1
+}
+for p in $SMOKE_PIDS; do
+	kill "$p" 2>/dev/null || true
+	wait "$p" 2>/dev/null || true
+done
+SMOKE_PIDS=""
 echo "== metric-name lint"
 ./scripts/lint-metrics.sh
 echo "verify: OK"
