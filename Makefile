@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-contention bench-datapath bench-saturation bench-cluster lint-metrics
+.PHONY: build test verify bench bench-contention bench-datapath bench-saturation bench-cluster bench-coldpath lint-metrics
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,8 @@ bench-saturation:
 # placement vs round-robin, results written to BENCH_cluster.json.
 bench-cluster:
 	./scripts/bench-cluster.sh
+
+# Cold-path suite: full cold boots vs layer cache vs the pre-forked
+# generic pool, cold/warm latency split written to BENCH_coldpath.json.
+bench-coldpath:
+	./scripts/bench-coldpath.sh

@@ -59,8 +59,20 @@ type result struct {
 	RejectedFrac float64            `json:"rejected_fraction"`
 	FivexxFrac   float64            `json:"fivexx_fraction"`
 	RetryAfter   int64              `json:"retry_after_present"`
+	// ColdStarts/WarmHits classify served (2xx) responses by the
+	// X-Hotc-Reused header the gateway stamps on every proxied reply;
+	// ColdFraction is ColdStarts over the classified total. Benches
+	// read the cold rate here instead of scraping /system/stats
+	// mid-run.
+	ColdStarts   int64              `json:"cold_starts"`
+	WarmHits     int64              `json:"warm_hits"`
+	ColdFraction float64            `json:"cold_fraction"`
 	LatencyMS    map[string]float64 `json:"latency_ms"`
-	Tenants      map[string]*tstats `json:"tenants,omitempty"`
+	// LatencyColdMS/LatencyWarmMS split the 2xx percentiles by cold vs
+	// warm — the cold-path bench's primary read-out.
+	LatencyColdMS map[string]float64 `json:"latency_ms_cold,omitempty"`
+	LatencyWarmMS map[string]float64 `json:"latency_ms_warm,omitempty"`
+	Tenants       map[string]*tstats `json:"tenants,omitempty"`
 	// SlowestTraces and FailedTraces carry the X-Hotc-Trace-Id echoed
 	// by a tracing gateway for the slowest successes and the first
 	// failures: paste one into
@@ -92,9 +104,11 @@ type traceRef struct {
 func main() {
 	var (
 		target     = flag.String("target", "", "base URL of a running hotcd; empty self-hosts a daemon on a loopback socket")
-		function   = flag.String("function", "sleep", "function to invoke")
+		function   = flag.String("function", "sleep", "function to invoke (with -functions > 1: the name prefix)")
+		numFns     = flag.Int("functions", 1, "number of function copies to deploy and round-robin over (<name>-0..<name>-N-1); > 1 spreads arrivals so cold starts recur")
 		handler    = flag.String("deploy-handler", "sleep", "builtin handler to deploy as -function before the run (empty = skip deploy)")
 		coldMs     = flag.Int("cold-start-ms", 25, "deploy-time simulated cold start")
+		imageRef   = flag.String("image", "", "deploy-time container image reference from the standard catalog (e.g. python:3.8); functions sharing base layers skip most of the pull phase")
 		rate       = flag.Float64("rate", 200, "open-loop arrival rate, requests/second")
 		duration   = flag.Duration("duration", 5*time.Second, "how long to generate load")
 		body       = flag.String("body", "20", "request body (for the sleep builtin: service time in ms)")
@@ -107,9 +121,15 @@ func main() {
 		queueLen  = flag.Int("queue-depth", 16, "self-hosted: per-tenant queue depth")
 		defDeadl  = flag.Duration("default-deadline", 0, "self-hosted: default request deadline")
 		memBudget = flag.Int64("memory-budget", 0, "self-hosted: warm-memory budget in bytes")
+		keepalive = flag.Duration("keepalive", 0, "self-hosted: stop instances idle longer than this (0 = keep forever); a short keep-alive forces recurring cold starts for cold-path benches")
+		reapEvery = flag.Duration("reap-interval", 0, "self-hosted: janitor scan interval (default 1s when -keepalive is set)")
+		prefork   = flag.Bool("prefork", false, "self-hosted: arm the generic pre-forked watchdog pool")
+		preforkN  = flag.Int("prefork-size", 4, "self-hosted: generic pool target size")
+		preforkMs = flag.Int("prefork-boot-ms", 0, "self-hosted: generic watchdog boot delay in ms (off the request path)")
 		// CI assertions.
-		assertMinOK  = flag.Float64("assert-min-ok", -1, "exit 1 if ok_fraction falls below this (-1 = off)")
-		assertMax5xx = flag.Float64("assert-max-5xx", -1, "exit 1 if fivexx_fraction exceeds this (-1 = off)")
+		assertMinOK   = flag.Float64("assert-min-ok", -1, "exit 1 if ok_fraction falls below this (-1 = off)")
+		assertMax5xx  = flag.Float64("assert-max-5xx", -1, "exit 1 if fivexx_fraction exceeds this (-1 = off)")
+		assertMaxCold = flag.Float64("assert-max-cold", -1, "exit 1 if cold_fraction (from X-Hotc-Reused) exceeds this (-1 = off)")
 	)
 	flag.Parse()
 
@@ -126,6 +146,11 @@ func main() {
 			QueueDepth:      *queueLen,
 			DefaultDeadline: *defDeadl,
 			MemoryBudget:    *memBudget,
+			IdleTTL:         *keepalive,
+			ReapInterval:    *reapEvery,
+			Prefork:         *prefork,
+			PreforkSize:     *preforkN,
+			PreforkBoot:     time.Duration(*preforkMs) * time.Millisecond,
 		})
 		base, err = daemon.StartOn("127.0.0.1:0")
 		if err != nil {
@@ -133,13 +158,26 @@ func main() {
 		}
 		defer daemon.Stop()
 	}
+	names := []string{*function}
+	if *numFns > 1 {
+		names = make([]string, *numFns)
+		for i := range names {
+			names[i] = fmt.Sprintf("%s-%d", *function, i)
+		}
+	}
 	if *handler != "" {
-		deploy(base, *function, *handler, *coldMs)
+		for _, n := range names {
+			deploy(base, n, *handler, *coldMs, *imageRef)
+		}
 	}
 
-	res := run(base, *function, *body, tenants, *rate, *duration, *deadlineMs, *maxOut)
+	res := run(base, names, *body, tenants, *rate, *duration, *deadlineMs, *maxOut)
 	if daemon != nil {
-		res.WarmAtEnd = daemon.WarmInstances(*function)
+		warm := 0
+		for _, n := range names {
+			warm += daemon.WarmInstances(n)
+		}
+		res.WarmAtEnd = warm
 		res.Target = "self-hosted " + base
 	}
 
@@ -149,8 +187,8 @@ func main() {
 		if err := os.WriteFile(*outFile, enc, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("hotc-load: wrote %s (ok=%.3f rejected=%.3f 5xx=%.3f goodput=%.1f/s)\n",
-			*outFile, res.OKFraction, res.RejectedFrac, res.FivexxFrac, res.GoodputRPS)
+		fmt.Printf("hotc-load: wrote %s (ok=%.3f rejected=%.3f 5xx=%.3f cold=%.3f goodput=%.1f/s)\n",
+			*outFile, res.OKFraction, res.RejectedFrac, res.FivexxFrac, res.ColdFraction, res.GoodputRPS)
 	} else {
 		os.Stdout.Write(enc)
 	}
@@ -160,6 +198,9 @@ func main() {
 	}
 	if *assertMax5xx >= 0 && res.FivexxFrac > *assertMax5xx {
 		fatal(fmt.Errorf("fivexx_fraction %.3f above asserted maximum %.3f", res.FivexxFrac, *assertMax5xx))
+	}
+	if *assertMaxCold >= 0 && res.ColdFraction > *assertMaxCold {
+		fatal(fmt.Errorf("cold_fraction %.3f above asserted maximum %.3f", res.ColdFraction, *assertMaxCold))
 	}
 }
 
@@ -191,8 +232,12 @@ func parseTenants(s string) ([]tenantShare, error) {
 	return out, nil
 }
 
-func deploy(base, name, handler string, coldMs int) {
-	spec := fmt.Sprintf(`{"name":%q,"handler":%q,"coldStartMs":%d}`, name, handler, coldMs)
+func deploy(base, name, handler string, coldMs int, image string) {
+	spec := fmt.Sprintf(`{"name":%q,"handler":%q,"coldStartMs":%d`, name, handler, coldMs)
+	if image != "" {
+		spec += fmt.Sprintf(`,"image":%q`, image)
+	}
+	spec += "}"
 	resp, err := http.Post(base+"/system/functions", "application/json", strings.NewReader(spec))
 	if err != nil {
 		fatal(fmt.Errorf("deploy %s: %w", name, err))
@@ -204,12 +249,17 @@ func deploy(base, name, handler string, coldMs int) {
 }
 
 // run fires the open-loop arrival schedule: request i departs at
-// start + i/rate, no matter what happened to requests 0..i-1.
-func run(base, function, body string, tenants []tenantShare, rate float64, duration time.Duration, deadlineMs, maxOut int) *result {
+// start + i/rate, no matter what happened to requests 0..i-1. With
+// multiple functions arrivals round-robin across them.
+func run(base string, functions []string, body string, tenants []tenantShare, rate float64, duration time.Duration, deadlineMs, maxOut int) *result {
 	var (
 		mu        sync.Mutex
 		status    = map[string]int64{}
 		latencies []float64
+		coldLat   []float64
+		warmLat   []float64
+		cold      int64
+		warmN     int64
 		perTenant = map[string]*tstats{}
 		tenantLat = map[string][]float64{}
 		traced    []traceRef
@@ -234,7 +284,10 @@ func run(base, function, body string, tenants []tenantShare, rate float64, durat
 	sem := make(chan struct{}, maxOut)
 	interval := time.Duration(float64(time.Second) / rate)
 	start := time.Now()
-	url := base + "/function/" + function
+	urls := make([]string, len(functions))
+	for i, fn := range functions {
+		urls[i] = base + "/function/" + fn
+	}
 
 	for i := 0; ; i++ {
 		due := start.Add(time.Duration(i) * interval)
@@ -256,7 +309,7 @@ func run(base, function, body string, tenants []tenantShare, rate float64, durat
 		}
 		sent.Add(1)
 		wg.Add(1)
-		go func(tenant string) {
+		go func(tenant, url string) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			req, _ := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
@@ -282,10 +335,22 @@ func run(base, function, body string, tenants []tenantShare, rate float64, durat
 			}
 			latMs := float64(elapsed.Microseconds()) / 1000
 			traceID := resp.Header.Get("X-Hotc-Trace-Id")
+			reusedHdr := resp.Header.Get("X-Hotc-Reused")
 			mu.Lock()
 			status[strconv.Itoa(resp.StatusCode)]++
 			if resp.StatusCode < 300 {
 				latencies = append(latencies, latMs)
+				// The gateway stamps X-Hotc-Reused on every proxied
+				// reply: classify served requests cold vs warm here, so
+				// benches never scrape /system/stats mid-run.
+				switch reusedHdr {
+				case "true":
+					warmN++
+					warmLat = append(warmLat, latMs)
+				case "false":
+					cold++
+					coldLat = append(coldLat, latMs)
+				}
 				if tenant != "" {
 					tenantLat[tenant] = append(tenantLat[tenant], latMs)
 				}
@@ -306,20 +371,27 @@ func run(base, function, body string, tenants []tenantShare, rate float64, durat
 				}
 			}
 			mu.Unlock()
-		}(tenant)
+		}(tenant, urls[i%len(urls)])
 	}
 	wg.Wait()
 
 	res := &result{
-		Target:      base,
-		Function:    function,
-		RateRPS:     rate,
-		DurationS:   duration.Seconds(),
-		Sent:        sent.Load(),
-		ClientDrops: drops.Load(),
-		Status:      status,
-		RetryAfter:  retryHdr.Load(),
-		LatencyMS:   percentiles(latencies),
+		Target:        base,
+		Function:      strings.Join(functions, ","),
+		RateRPS:       rate,
+		DurationS:     duration.Seconds(),
+		Sent:          sent.Load(),
+		ClientDrops:   drops.Load(),
+		Status:        status,
+		RetryAfter:    retryHdr.Load(),
+		ColdStarts:    cold,
+		WarmHits:      warmN,
+		LatencyMS:     percentiles(latencies),
+		LatencyColdMS: percentiles(coldLat),
+		LatencyWarmMS: percentiles(warmLat),
+	}
+	if cold+warmN > 0 {
+		res.ColdFraction = float64(cold) / float64(cold+warmN)
 	}
 	if len(perTenant) > 0 {
 		for name, ts := range perTenant {

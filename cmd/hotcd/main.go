@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,10 +57,21 @@ func main() {
 		trSlowMs  = flag.Int("trace-slow-ms", 500, "always keep spans at or above this end-to-end latency, in milliseconds (negative = off)")
 		sloLatMs  = flag.Int("slo-latency-ms", 250, "latency SLO: 2xx requests slower than this are bad events against a p99 objective (0 = objective off)")
 		sloColdPc = flag.Float64("slo-coldstart-pct", 5, "cold-start SLO: percent of served requests allowed to pay a cold start (0 = objective off)")
+		prefork   = flag.Bool("prefork", false, "maintain a pool of generic pre-forked watchdogs: cold starts specialize a running generic instance and pay only image pull (layer-cache-scaled) + app init")
+		preforkN  = flag.Int("prefork-size", 4, "target number of idle generic pre-forked watchdogs")
+		preforkMs = flag.Int("prefork-boot", 120, "milliseconds one generic watchdog boot pays, always off the request path")
+		layerCch  = flag.Bool("layer-cache", true, "cache image layers on the host so functions sharing base layers skip most of the pull phase")
+		layerCap  = flag.Float64("layer-cache-cap", 0, "layer cache capacity in MB with LRU eviction (0 = unbounded)")
+		bootSplit = flag.String("boot-split", "", "pull:runtime:app percentage split of coldStartMs for functions without explicit phases, e.g. 55:30:15 (empty = default)")
 	)
 	flag.Parse()
 
 	newPred, err := live.PredictorFactory(*predName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotcd:", err)
+		os.Exit(2)
+	}
+	pullFrac, rtFrac, appFrac, err := parseBootSplit(*bootSplit)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hotcd:", err)
 		os.Exit(2)
@@ -85,6 +98,14 @@ func main() {
 		TraceSlowThreshold: time.Duration(*trSlowMs) * time.Millisecond,
 		SLOLatency:         time.Duration(*sloLatMs) * time.Millisecond,
 		SLOColdStartPct:    *sloColdPc,
+		Prefork:            *prefork,
+		PreforkSize:        *preforkN,
+		PreforkBoot:        time.Duration(*preforkMs) * time.Millisecond,
+		DisableLayerCache:  !*layerCch,
+		LayerCacheCapMB:    *layerCap,
+		BootPullFrac:       pullFrac,
+		BootRuntimeFrac:    rtFrac,
+		BootAppFrac:        appFrac,
 	})
 	if *preload {
 		for _, h := range live.Builtins() {
@@ -120,7 +141,20 @@ func main() {
 		fmt.Println("admission: off (-max-inflight 0)")
 	}
 	if *memBudget > 0 {
-		fmt.Printf("warm memory budget: %d bytes (janitor reclaims biggest holders past it)\n", *memBudget)
+		fmt.Printf("warm memory budget: %d bytes (janitor reclaims biggest holders past it, generic watchdogs first)\n", *memBudget)
+	}
+	if *prefork {
+		fmt.Printf("cold path: prefork pool size=%d generic-boot=%dms; cold starts pay pull+app-init only (X-Hotc-Boot: generic|cold)\n",
+			*preforkN, *preforkMs)
+	}
+	if *layerCch {
+		capNote := "unbounded"
+		if *layerCap > 0 {
+			capNote = fmt.Sprintf("%.0f MB, LRU", *layerCap)
+		}
+		fmt.Printf("layer cache: on (%s); deploys with \"image\" skip the pull share of cached layers\n", capNote)
+	} else {
+		fmt.Println("layer cache: off (-layer-cache=false)")
 	}
 	if *noTrace {
 		fmt.Println("tracing: off (-no-trace)")
@@ -142,4 +176,32 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\nhotcd: shutting down")
+}
+
+// parseBootSplit parses a "pull:runtime:app" percentage triple, e.g.
+// "55:30:15". Empty means use the built-in default split; the parts
+// need not sum to 100 (the gateway normalizes) but must be positive
+// overall and non-negative individually.
+func parseBootSplit(s string) (pull, rt, app float64, err error) {
+	if s == "" {
+		return 0, 0, 0, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad -boot-split %q (want pull:runtime:app, e.g. 55:30:15)", s)
+	}
+	vals := make([]float64, 3)
+	sum := 0.0
+	for i, p := range parts {
+		v, perr := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if perr != nil || v < 0 {
+			return 0, 0, 0, fmt.Errorf("bad -boot-split part %q (want a non-negative number)", p)
+		}
+		vals[i] = v
+		sum += v
+	}
+	if sum <= 0 {
+		return 0, 0, 0, fmt.Errorf("bad -boot-split %q (parts sum to zero)", s)
+	}
+	return vals[0], vals[1], vals[2], nil
 }

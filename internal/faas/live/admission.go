@@ -201,7 +201,9 @@ type WarmMemoryStats struct {
 	Reclaimed int `json:"reclaimed"`
 }
 
-// WarmMemory snapshots the memory-budget accounting.
+// WarmMemory snapshots the memory-budget accounting. Idle generic
+// pre-forked watchdogs count against the budget like any other warm
+// instance.
 func (g *Gateway) WarmMemory() WarmMemoryStats {
 	if g.adm.MemoryBudget <= 0 {
 		return WarmMemoryStats{}
@@ -211,6 +213,9 @@ func (g *Gateway) WarmMemory() WarmMemoryStats {
 		s.mu.Lock()
 		total += len(s.idle)
 		s.mu.Unlock()
+	}
+	if g.cold.pool != nil {
+		total += g.cold.pool.Idle()
 	}
 	return WarmMemoryStats{
 		BudgetBytes: g.adm.MemoryBudget,
@@ -242,6 +247,11 @@ func (g *Gateway) reclaimMemoryOnce() int {
 		s.mu.Unlock()
 		total += counts[i]
 	}
+	generics := 0
+	if g.cold.pool != nil {
+		generics = g.cold.pool.Idle()
+		total += generics
+	}
 	ins := g.obs.Load()
 	if ins != nil {
 		ins.admMemBytes.Set(float64(total) * float64(est))
@@ -250,10 +260,39 @@ func (g *Gateway) reclaimMemoryOnce() int {
 		return 0
 	}
 
-	// Water-filling: find the level L such that capping every shard at
-	// L fits the budget, then each shard's quota is what it holds past
-	// L (spread one-by-one across the largest when L is fractional).
-	quota := overQuota(counts, budgetInst)
+	// Generic pre-forked watchdogs are the cheapest memory to hand
+	// back — no function state or warm affinity is lost, and the pool
+	// re-grows whenever the budget allows — so they go first, oldest
+	// first.
+	reapedGen := 0
+	if excess := total - budgetInst; generics > 0 {
+		want := excess
+		if want > generics {
+			want = generics
+		}
+		reapedGen = g.cold.pool.Reap(want)
+		g.cold.genericReaped.Add(uint64(reapedGen))
+		if ins != nil && reapedGen > 0 {
+			ins.coldReaped.Add(float64(reapedGen))
+		}
+		total -= reapedGen
+		if total <= budgetInst {
+			g.memReclaimed.Add(uint64(reapedGen))
+			if ins != nil {
+				ins.admMemReclaimed.Add(float64(reapedGen))
+				ins.admMemBytes.Set(float64(total) * float64(est))
+			}
+			return reapedGen
+		}
+	}
+
+	// Water-filling over the warm shards for the remainder: find the
+	// level L such that capping every shard at L fits the budget, then
+	// each shard's quota is what it holds past L (spread one-by-one
+	// across the largest when L is fractional). The remaining generics
+	// (all reaped by now unless the pool emptied mid-scan) stay counted
+	// against the shard budget.
+	quota := overQuota(counts, budgetInst-(generics-reapedGen))
 
 	var doomed []*instance
 	for i, s := range shards {
@@ -273,16 +312,21 @@ func (g *Gateway) reclaimMemoryOnce() int {
 		}
 		s.mu.Unlock()
 	}
-	if len(doomed) > 0 {
-		g.memReclaimed.Add(uint64(len(doomed)))
+	reclaimed := reapedGen + len(doomed)
+	if reclaimed > 0 {
+		g.memReclaimed.Add(uint64(reclaimed))
 		if ins != nil {
-			ins.admMemReclaimed.Add(float64(len(doomed)))
-			ins.poolRetired.Add(float64(len(doomed)))
+			ins.admMemReclaimed.Add(float64(reclaimed))
 			ins.admMemBytes.Set(float64(total-len(doomed)) * float64(est))
+		}
+	}
+	if len(doomed) > 0 {
+		if ins != nil {
+			ins.poolRetired.Add(float64(len(doomed)))
 		}
 		stopAll(doomed)
 	}
-	return len(doomed)
+	return reclaimed
 }
 
 // overQuota distributes the eviction burden of fitting counts into

@@ -1,0 +1,354 @@
+package live
+
+import (
+	"sync/atomic"
+	"time"
+
+	"hotc/internal/image"
+	"hotc/internal/prefork"
+)
+
+// BootHeader reports how the serving instance came to exist:
+// "generic" (specialized from the pre-forked pool) or "cold" (full
+// boot). Warm reuses carry only X-Hotc-Reused: true — the hot path
+// stays header- and allocation-free.
+const BootHeader = "X-Hotc-Boot"
+
+// The default ColdStart phase split when a function does not declare
+// explicit phases, following §III.B's finding that image pull/unpack
+// dominates container start time.
+const (
+	defaultPullFrac    = 0.55
+	defaultRuntimeFrac = 0.30
+	defaultAppFrac     = 0.15
+)
+
+// defaultPreforkSize is the generic-pool target when prefork is armed
+// without an explicit size.
+const defaultPreforkSize = 4
+
+// ColdPathConfig arms the gateway's fast cold path: the ColdStart
+// phase split, the content-addressed layer cache that lets functions
+// sharing base layers skip the pull/unpack phase, and the pre-forked
+// generic watchdog pool that pre-pays the function-agnostic share of
+// boot. Call EnableColdPath before Start, like the other Enables.
+type ColdPathConfig struct {
+	// Registry resolves Function.Image references (nil = image
+	// modelling off; the pull phase is always paid in full).
+	Registry *image.Registry
+	// Cache is the host-local layer store. A cold boot admits its
+	// image's layers and pays the pull phase only for the megabytes
+	// that were actually missing — the admit is one atomic
+	// check-and-admit, so concurrent boots of overlapping images each
+	// pull only the layers they were first to admit. nil = no cache.
+	Cache *image.Cache
+	// PullFrac, RuntimeFrac and AppFrac split ColdStart into the
+	// §III.B phases for functions that do not declare explicit ones.
+	// All zero = the 0.55/0.30/0.15 defaults; otherwise normalized to
+	// sum to 1.
+	PullFrac, RuntimeFrac, AppFrac float64
+	// Prefork arms the generic pre-forked watchdog pool: cold starts
+	// are served by specializing an already-running generic instance,
+	// paying only the pull (cache-scaled) and app-init shares.
+	Prefork bool
+	// PreforkSize is the target number of idle generics (default 4).
+	PreforkSize int
+	// PreforkBoot is the delay one generic boot pays (the pre-baked
+	// generic image's create + runtime init). It is only ever paid on
+	// pool refill goroutines, never on the request path.
+	PreforkBoot time.Duration
+}
+
+// coldPath is the gateway's resolved cold-path state. The config
+// fields are written by EnableColdPath before Start and read-only
+// afterwards; the counters are atomics fed from boot paths.
+type coldPath struct {
+	registry *image.Registry
+	cache    *image.Cache
+	// Normalized phase fractions (always valid: NewGateway seeds the
+	// defaults so an un-configured gateway still decomposes ColdStart
+	// into the same total).
+	pullFrac, runtimeFrac, appFrac float64
+	// pool is the generic watchdog pool; nil = prefork off.
+	pool *prefork.Pool
+
+	refillBoots   atomic.Uint64 // completed generic boots
+	genericReaped atomic.Uint64 // generics stopped by budget pressure
+	pullSkippedKB atomic.Uint64 // pull megabytes skipped via cache, in KB
+	serveErrs     atomic.Uint64 // watchdog accept loops that died with an error
+	bootErrs      atomic.Uint64 // failed watchdog boots (generic refills)
+}
+
+// EnableColdPath configures the fast cold path. Call before Start.
+func (g *Gateway) EnableColdPath(cfg ColdPathConfig) {
+	p, r, a := cfg.PullFrac, cfg.RuntimeFrac, cfg.AppFrac
+	if p <= 0 && r <= 0 && a <= 0 {
+		p, r, a = defaultPullFrac, defaultRuntimeFrac, defaultAppFrac
+	}
+	sum := p + r + a
+	g.cold.pullFrac, g.cold.runtimeFrac, g.cold.appFrac = p/sum, r/sum, a/sum
+	g.cold.registry = cfg.Registry
+	g.cold.cache = cfg.Cache
+	if !cfg.Prefork {
+		return
+	}
+	size := cfg.PreforkSize
+	if size <= 0 {
+		size = defaultPreforkSize
+	}
+	genericBoot := cfg.PreforkBoot
+	g.cold.pool = prefork.NewPool(prefork.Config{
+		Size: size,
+		Boot: func() (*prefork.Watchdog, error) {
+			wd, err := prefork.Start(g.watchdogServeError)
+			if err != nil {
+				return nil, err
+			}
+			// The generic share of cold start (pre-baked image create +
+			// runtime init), paid here — on a refill goroutine — instead
+			// of on some future request.
+			if genericBoot > 0 {
+				time.Sleep(genericBoot)
+			}
+			return wd, nil
+		},
+		OnBoot: func() {
+			g.cold.refillBoots.Add(1)
+			if ins := g.obs.Load(); ins != nil {
+				ins.coldRefills.Inc()
+			}
+		},
+		OnBootError: func(err error) {
+			g.cold.bootErrs.Add(1)
+			g.event("prefork-boot-failure")
+		},
+		OnIdle: func(n int) {
+			if ins := g.obs.Load(); ins != nil {
+				ins.coldGenericIdle.Set(float64(n))
+			}
+		},
+	})
+}
+
+// bootMode classifies how a request's instance came to exist.
+type bootMode uint8
+
+const (
+	// bootWarm reused an idle instance from the warm pool.
+	bootWarm bootMode = iota
+	// bootGeneric specialized a pre-forked generic watchdog.
+	bootGeneric
+	// bootCold paid the full boot: pull + runtime init + app init.
+	bootCold
+)
+
+// String names the mode for the X-Hotc-Boot header (constant strings:
+// no allocation).
+func (m bootMode) String() string {
+	switch m {
+	case bootWarm:
+		return "warm"
+	case bootGeneric:
+		return "generic"
+	default:
+		return "cold"
+	}
+}
+
+// bootInfo reports what one boot actually paid. Passed by value; it
+// never escapes on the warm path.
+type bootInfo struct {
+	mode bootMode
+	// pull, runtime and app are the phase delays actually slept (pull
+	// already cache-scaled; runtime is zero on a generic handoff).
+	pull, runtime, app time.Duration
+	// skippedMB is the image download avoided by layer-cache hits.
+	skippedMB float64
+}
+
+// bootPhases is one function's resolved phase split plus its image,
+// if any.
+type bootPhases struct {
+	pull, runtime, app time.Duration
+	im                 image.Image
+	hasImage           bool
+}
+
+// phasesFor resolves a function's boot phases: explicit fields win;
+// otherwise ColdStart is split by the configured fractions, with the
+// remainder assigned to app init so the three phases always sum to
+// exactly ColdStart (an unconfigured gateway boots in the same total
+// time as the old monolithic sleep).
+func (g *Gateway) phasesFor(fn Function) bootPhases {
+	var ph bootPhases
+	if fn.Pull > 0 || fn.RuntimeInit > 0 || fn.AppInit > 0 {
+		ph.pull, ph.runtime, ph.app = fn.Pull, fn.RuntimeInit, fn.AppInit
+	} else {
+		cs := fn.ColdStart
+		ph.pull = time.Duration(g.cold.pullFrac * float64(cs))
+		ph.runtime = time.Duration(g.cold.runtimeFrac * float64(cs))
+		ph.app = cs - ph.pull - ph.runtime
+	}
+	if fn.Image != "" && g.cold.registry != nil {
+		if im, err := g.cold.registry.Lookup(fn.Image); err == nil {
+			ph.im, ph.hasImage = im, true
+		}
+	}
+	return ph
+}
+
+// pullCost resolves the pull/unpack delay for one boot. With an image
+// and a layer cache, the image's layers are admitted and only the
+// megabytes actually missing are paid for, pro-rata of the phase
+// delay; the rest is the cache hit the paper's Fig. 2 layer-sharing
+// study predicts. Admit is a single locked check-and-admit, so two
+// concurrent boots of overlapping images never both pay for a shared
+// layer.
+func (g *Gateway) pullCost(ph bootPhases) (time.Duration, float64) {
+	if !ph.hasImage || g.cold.cache == nil {
+		return ph.pull, 0
+	}
+	total := ph.im.SizeMB()
+	if total <= 0 {
+		return 0, 0
+	}
+	added := g.cold.cache.Admit(ph.im)
+	skipped := total - added
+	return time.Duration(float64(ph.pull) * added / total), skipped
+}
+
+// bootInstance is the shared cold-boot path for requests and
+// controller prewarms: a generic handoff when the pre-forked pool has
+// an instance ready, else a full cold boot. Either way the pool is
+// asked to refill — a mutex and goroutine spawns only, never a boot on
+// this goroutine.
+func (g *Gateway) bootInstance(fn Function) (*instance, bootInfo, error) {
+	if pool := g.cold.pool; pool != nil {
+		if wd := pool.TryAcquire(); wd != nil {
+			pool.Refill()
+			return g.specialize(wd, fn)
+		}
+		pool.Refill()
+	}
+	return g.startInstance(fn)
+}
+
+// specialize turns a generic watchdog into fn's instance: swap the
+// handler in and pay only the function-specific share of boot — the
+// cache-scaled pull of fn's own layers plus app init. The generic
+// runtime share was pre-paid when the watchdog booted.
+func (g *Gateway) specialize(wd *prefork.Watchdog, fn Function) (*instance, bootInfo, error) {
+	ph := g.phasesFor(fn)
+	wd.Specialize(watchdogHandler(fn, g.maxBody))
+	var pull time.Duration
+	var skipped float64
+	if ph.hasImage {
+		pull, skipped = g.pullCost(ph)
+	}
+	if d := pull + ph.app; d > 0 {
+		time.Sleep(d)
+	}
+	info := bootInfo{mode: bootGeneric, pull: pull, app: ph.app, skippedMB: skipped}
+	g.observeBoot(info)
+	return &instance{fn: fn, wd: wd, addr: wd.Addr()}, info, nil
+}
+
+// startInstance pays the full cold boot: listener + server up, then
+// pull (cache-scaled), runtime init and app init.
+func (g *Gateway) startInstance(fn Function) (*instance, bootInfo, error) {
+	ph := g.phasesFor(fn)
+	wd, err := prefork.Start(g.watchdogServeError)
+	if err != nil {
+		return nil, bootInfo{}, err
+	}
+	wd.Specialize(watchdogHandler(fn, g.maxBody))
+	pull, skipped := g.pullCost(ph)
+	if d := pull + ph.runtime + ph.app; d > 0 {
+		time.Sleep(d)
+	}
+	info := bootInfo{mode: bootCold, pull: pull, runtime: ph.runtime, app: ph.app, skippedMB: skipped}
+	g.observeBoot(info)
+	return &instance{fn: fn, wd: wd, addr: wd.Addr()}, info, nil
+}
+
+// observeBoot feeds one boot's phase accounting into the
+// hotc_coldpath_* families and the gateway's own counters.
+func (g *Gateway) observeBoot(info bootInfo) {
+	if info.skippedMB > 0 {
+		g.cold.pullSkippedKB.Add(uint64(info.skippedMB * 1024))
+	}
+	ins := g.obs.Load()
+	if ins == nil {
+		return
+	}
+	switch info.mode {
+	case bootGeneric:
+		ins.coldBootsGeneric.Inc()
+	case bootCold:
+		ins.coldBootsFull.Inc()
+		ins.coldPhaseRuntime.ObserveDuration(info.runtime)
+	}
+	// Pull is observed on every boot: a zero is a layer-cache hit, the
+	// exact signal the phase histogram exists to show.
+	ins.coldPhasePull.ObserveDuration(info.pull)
+	ins.coldPhaseApp.ObserveDuration(info.app)
+	if info.skippedMB > 0 {
+		ins.coldSkippedMB.Add(info.skippedMB)
+	}
+}
+
+// watchdogServeError records a watchdog accept loop dying with an
+// unexpected error — previously discarded inside the Serve goroutine,
+// now a resilience event (watchdog-serve-error) and a counter the
+// stats surface reports.
+func (g *Gateway) watchdogServeError(err error) {
+	g.cold.serveErrs.Add(1)
+	g.event("watchdog-serve-error")
+}
+
+// refillPrefork tops the generic pool up (no-op without prefork). The
+// controller calls it each tick so the pool recovers from bursts even
+// when no further requests arrive; tests call it to prefill
+// deterministically.
+func (g *Gateway) refillPrefork() {
+	if g.cold.pool != nil {
+		g.cold.pool.Refill()
+	}
+}
+
+// ColdPathStats snapshots the fast cold path's accounting.
+type ColdPathStats struct {
+	// Prefork reports whether the generic pool is armed.
+	Prefork bool `json:"prefork"`
+	// GenericIdle and GenericBooting are the pool's current occupancy.
+	GenericIdle    int `json:"genericIdle"`
+	GenericBooting int `json:"genericBooting"`
+	// RefillBoots counts completed generic boots over the gateway's
+	// lifetime; GenericReaped counts generics stopped by memory-budget
+	// pressure.
+	RefillBoots   uint64 `json:"refillBoots"`
+	GenericReaped uint64 `json:"genericReaped"`
+	// PullSkippedMB is the image download avoided by layer-cache hits;
+	// CacheMB is the layer store's current size.
+	PullSkippedMB float64 `json:"pullSkippedMB"`
+	CacheMB       float64 `json:"cacheMB"`
+}
+
+// ColdPathStats reports the cold-path accounting (zero value when the
+// cold path was never configured).
+func (g *Gateway) ColdPathStats() ColdPathStats {
+	st := ColdPathStats{
+		RefillBoots:   g.cold.refillBoots.Load(),
+		GenericReaped: g.cold.genericReaped.Load(),
+		PullSkippedMB: float64(g.cold.pullSkippedKB.Load()) / 1024,
+	}
+	if g.cold.pool != nil {
+		st.Prefork = true
+		st.GenericIdle = g.cold.pool.Idle()
+		st.GenericBooting = g.cold.pool.Booting()
+	}
+	if g.cold.cache != nil {
+		st.CacheMB = g.cold.cache.SizeMB()
+	}
+	return st
+}

@@ -117,7 +117,7 @@ func benchGatewayHotPath(b *testing.B, workers, fns int) {
 					b.Error("breaker open")
 					return
 				}
-				inst, reused, err := g.acquire(s)
+				inst, boot, err := g.acquire(s)
 				if err != nil {
 					b.Error(err)
 					return
@@ -125,7 +125,7 @@ func benchGatewayHotPath(b *testing.B, workers, fns int) {
 				g.release(s, inst)
 				g.breakerSuccess(s)
 				if ins := g.obs.Load(); ins != nil {
-					if reused {
+					if boot.mode == bootWarm {
 						ins.startsWarm.Inc()
 					} else {
 						ins.startsCold.Inc()

@@ -136,6 +136,9 @@ func (g *Gateway) startControlLoops() {
 	for _, name := range names {
 		go g.runController(name)
 	}
+	// Prefill the generic pre-forked pool so the first cold start
+	// already finds a ready watchdog (boots run on pool goroutines).
+	g.refillPrefork()
 }
 
 // runController is the per-function background control loop.
@@ -255,13 +258,20 @@ func (g *Gateway) controlOnce(name string, now time.Time) {
 		go g.prewarmOne(s, fn)
 	}
 	stopAll(retire)
+	// Keep the generic pre-forked pool topped up even when no request
+	// has drained it recently (boot errors or reaps may have left a
+	// deficit); the refill itself runs on pool-owned goroutines.
+	g.refillPrefork()
 }
 
 // prewarmOne boots one instance ahead of demand and pools it — unless
-// the gateway stopped or the warm cap filled while it was booting.
+// the gateway stopped or the warm cap filled while it was booting. It
+// rides the same fast cold path as requests: a generic pre-forked
+// watchdog is specialized when one is ready (the pool refills itself
+// in the background), else a full boot.
 func (g *Gateway) prewarmOne(s *shard, fn Function) {
 	defer g.wg.Done()
-	inst, err := startInstance(fn, g.maxBody)
+	inst, _, err := g.bootInstance(fn)
 	s.mu.Lock()
 	if s.ctl.booting > 0 {
 		s.ctl.booting--

@@ -17,6 +17,7 @@ import (
 	"unicode/utf8"
 
 	"hotc/internal/admission"
+	"hotc/internal/image"
 	"hotc/internal/obs"
 	"hotc/internal/predictor"
 )
@@ -99,6 +100,27 @@ type PoolConfig struct {
 	// SLOColdStartPct arms the cold-start objective: at most this
 	// percentage of served requests may pay a cold start (0 = off).
 	SLOColdStartPct float64
+	// Prefork arms the generic pre-forked watchdog pool: cold starts
+	// specialize an already-running generic instance and pay only the
+	// function-specific share of boot.
+	Prefork bool
+	// PreforkSize is the generic pool's target (default 4 when Prefork
+	// is set).
+	PreforkSize int
+	// PreforkBoot is the delay one generic boot pays, always off the
+	// request path (0 = instant).
+	PreforkBoot time.Duration
+	// DisableLayerCache turns the host layer cache off: every boot
+	// with an Image pays its full pull phase. The cache is on by
+	// default — sharing base layers is the point of image modelling.
+	DisableLayerCache bool
+	// LayerCacheCapMB bounds the layer cache with LRU eviction (0 =
+	// unbounded).
+	LayerCacheCapMB float64
+	// BootPullFrac, BootRuntimeFrac and BootAppFrac split ColdStart
+	// into the §III.B phases for functions without explicit ones. All
+	// zero = the 55/30/15 defaults.
+	BootPullFrac, BootRuntimeFrac, BootAppFrac float64
 }
 
 // Daemon is the long-running HotC gateway server: the live gateway
@@ -119,6 +141,9 @@ type Daemon struct {
 	gw  *Gateway
 	cfg PoolConfig
 	reg *obs.Registry
+	// images resolves DeploySpec.Image references (the standard
+	// catalog); the gateway shares it for boot-time layer admission.
+	images *image.Registry
 
 	// slo is the burn-rate monitor behind /system/slo and hotc_slo_*;
 	// nil when no objective is armed.
@@ -308,10 +333,29 @@ func NewDaemon(cfg PoolConfig) *Daemon {
 		gw:      NewGateway(true),
 		cfg:     cfg,
 		reg:     obs.New(),
+		images:  image.StandardCatalog(),
 		started: time.Now(),
 	}
 	d.gw.Instrument(d.reg)
 	d.gw.SetMaxBodyBytes(cfg.MaxBodyBytes)
+	var cache *image.Cache
+	if !cfg.DisableLayerCache {
+		if cfg.LayerCacheCapMB > 0 {
+			cache = image.NewCacheWithCap(cfg.LayerCacheCapMB)
+		} else {
+			cache = image.NewCache()
+		}
+	}
+	d.gw.EnableColdPath(ColdPathConfig{
+		Registry:    d.images,
+		Cache:       cache,
+		PullFrac:    cfg.BootPullFrac,
+		RuntimeFrac: cfg.BootRuntimeFrac,
+		AppFrac:     cfg.BootAppFrac,
+		Prefork:     cfg.Prefork,
+		PreforkSize: cfg.PreforkSize,
+		PreforkBoot: cfg.PreforkBoot,
+	})
 	d.reg.GaugeVec("hotc_build_info",
 		"Build metadata: constant 1, labeled by gateway version and Go runtime version.",
 		"version", "go_version").With(Version, runtime.Version()).Set(1)
@@ -365,8 +409,19 @@ type DeploySpec struct {
 	Name string `json:"name"`
 	// Handler is a builtin handler name; see Builtins.
 	Handler string `json:"handler"`
-	// ColdStartMs is the artificial instance boot delay.
+	// ColdStartMs is the artificial instance boot delay, decomposed
+	// into pull/runtime-init/app-init by the daemon's phase split
+	// unless the explicit phase fields below are set.
 	ColdStartMs int `json:"coldStartMs"`
+	// Image, optional, names the function's container image in the
+	// standard catalog ("python:3.8", "node:10", ...): boots then skip
+	// the pull share of layers already cached on the host.
+	Image string `json:"image,omitempty"`
+	// PullMs, RuntimeInitMs and AppInitMs, when any is set, spell the
+	// boot phases out explicitly instead of splitting ColdStartMs.
+	PullMs        int `json:"pullMs,omitempty"`
+	RuntimeInitMs int `json:"runtimeInitMs,omitempty"`
+	AppInitMs     int `json:"appInitMs,omitempty"`
 }
 
 // Deploy registers a function from a spec.
@@ -378,8 +433,22 @@ func (d *Daemon) Deploy(spec DeploySpec) error {
 	if spec.ColdStartMs < 0 {
 		return fmt.Errorf("live: negative cold start")
 	}
+	if spec.PullMs < 0 || spec.RuntimeInitMs < 0 || spec.AppInitMs < 0 {
+		return fmt.Errorf("live: negative boot phase")
+	}
+	if spec.Image != "" {
+		// An unknown image would silently degrade to no-image boots
+		// (full pull every time); refuse it up front instead.
+		if _, err := d.images.Lookup(spec.Image); err != nil {
+			return err
+		}
+	}
 	fn.Name = spec.Name
 	fn.ColdStart = time.Duration(spec.ColdStartMs) * time.Millisecond
+	fn.Image = spec.Image
+	fn.Pull = time.Duration(spec.PullMs) * time.Millisecond
+	fn.RuntimeInit = time.Duration(spec.RuntimeInitMs) * time.Millisecond
+	fn.AppInit = time.Duration(spec.AppInitMs) * time.Millisecond
 	if err := d.gw.Register(fn); err != nil {
 		return err
 	}
@@ -462,11 +531,13 @@ func (d *Daemon) routes() *http.ServeMux {
 			WarmAges      map[string][]float64       `json:"warmAgeSeconds"`
 			Admission     map[string]admission.Stats `json:"admission,omitempty"`
 			WarmMemory    WarmMemoryStats            `json:"warmMemory,omitempty"`
+			ColdPath      ColdPathStats              `json:"coldPath"`
 			Trace         TraceStats                 `json:"trace"`
 		}{Version, runtime.Version(), time.Since(d.started).Seconds(),
 			d.gw.Draining(), d.gw.Stats(), warm, d.gw.Forecasts(),
 			d.gw.ResilienceCounters(), d.gw.WarmAges(time.Now()),
-			d.gw.AdmissionStats(), d.gw.WarmMemory(), d.gw.TraceStats()})
+			d.gw.AdmissionStats(), d.gw.WarmMemory(), d.gw.ColdPathStats(),
+			d.gw.TraceStats()})
 	})
 	mux.HandleFunc("/system/drain", func(w http.ResponseWriter, r *http.Request) {
 		// POST drains (stop accepting placements, finish in-flight),

@@ -52,10 +52,27 @@ type instruments struct {
 	traceSampledOut *obs.Counter            // hotc_trace_sampled_out_total
 	traceRingFull   *obs.Counter            // hotc_trace_ring_dropped_total
 
+	// Cold-path families (hotc_coldpath_*): how each cold boot was
+	// paid — generic handoff vs full boot, per-phase delays, generic
+	// pool occupancy/refills/reaps, and pull megabytes the layer cache
+	// saved.
+	coldBoots       *obs.CounterVec   // hotc_coldpath_boots_total{mode}
+	coldPhase       *obs.HistogramVec // hotc_coldpath_phase_ms{phase}
+	coldGenericIdle *obs.Gauge        // hotc_coldpath_generic_idle
+	coldRefills     *obs.Counter      // hotc_coldpath_refills_total
+	coldReaped      *obs.Counter      // hotc_coldpath_generic_reaped_total
+	coldSkippedMB   *obs.Counter      // hotc_coldpath_pull_skipped_mb_total
+
 	// startsWarm/startsCold are the two children of starts, resolved
-	// once so the request path pays a single atomic add.
-	startsWarm *obs.Counter
-	startsCold *obs.Counter
+	// once so the request path pays a single atomic add; the coldBoots
+	// and coldPhase children likewise.
+	startsWarm       *obs.Counter
+	startsCold       *obs.Counter
+	coldBootsGeneric *obs.Counter
+	coldBootsFull    *obs.Counter
+	coldPhasePull    *obs.Histogram
+	coldPhaseRuntime *obs.Histogram
+	coldPhaseApp     *obs.Histogram
 }
 
 // shardMetrics is one function's pre-resolved series handles: every
@@ -170,6 +187,20 @@ func (g *Gateway) Instrument(reg *obs.Registry) {
 			"Estimated memory held by warm instances across all functions."),
 		admMemReclaimed: reg.Counter("hotc_adm_mem_reclaimed_total",
 			"Warm instances reclaimed by memory-budget pressure."),
+		coldBoots: reg.CounterVec("hotc_coldpath_boots_total",
+			"Cold boots by mode (generic = specialized from the pre-forked pool, cold = full boot).",
+			"mode"),
+		coldPhase: reg.HistogramVec("hotc_coldpath_phase_ms",
+			"Cold-boot phase delays actually paid, in milliseconds, by phase (pull|runtime_init|app_init); a zero pull is a layer-cache hit.",
+			obs.DefaultLatencyBucketsMS(), "phase"),
+		coldGenericIdle: reg.Gauge("hotc_coldpath_generic_idle",
+			"Idle generic pre-forked watchdogs ready for specialization."),
+		coldRefills: reg.Counter("hotc_coldpath_refills_total",
+			"Generic watchdog boots completed by pool refills."),
+		coldReaped: reg.Counter("hotc_coldpath_generic_reaped_total",
+			"Generic pre-forked watchdogs stopped by memory-budget pressure."),
+		coldSkippedMB: reg.Counter("hotc_coldpath_pull_skipped_mb_total",
+			"Image megabytes not pulled thanks to layer-cache hits."),
 	}
 	traceKept := reg.CounterVec("hotc_trace_kept_total",
 		"Spans retained by the tail sampler, by keep reason (error|shed|cold|slow|sampled).",
@@ -184,7 +215,17 @@ func (g *Gateway) Instrument(reg *obs.Registry) {
 		"Kept spans dropped because their trace-ring slot was busy.")
 	ins.startsWarm = ins.starts.With("warm")
 	ins.startsCold = ins.starts.With("cold")
+	ins.coldBootsGeneric = ins.coldBoots.With("generic")
+	ins.coldBootsFull = ins.coldBoots.With("cold")
+	ins.coldPhasePull = ins.coldPhase.With("pull")
+	ins.coldPhaseRuntime = ins.coldPhase.With("runtime_init")
+	ins.coldPhaseApp = ins.coldPhase.With("app_init")
 	g.obs.Store(ins)
+	// Seed the generic-idle gauge: the pool may have filled before
+	// Instrument armed the OnIdle hook's sink.
+	if g.cold.pool != nil {
+		ins.coldGenericIdle.Set(float64(g.cold.pool.Idle()))
+	}
 	for _, s := range g.snapshotShards() {
 		s.m.Store(ins.forFunction(s.name))
 	}
@@ -324,7 +365,8 @@ func (s *shard) syncBreakerGaugeLocked(b *faas.Breaker, at time.Duration) {
 
 // ResilienceCounters sums the per-shard failure/breaker counters
 // (boot.failures, proxy.failures, breaker.trips, breaker.closes,
-// breaker.rejected). Counters with zero value are absent.
+// breaker.rejected) plus the gateway-wide watchdog accept-loop and
+// generic-boot failures. Counters with zero value are absent.
 func (g *Gateway) ResilienceCounters() map[string]int {
 	out := make(map[string]int)
 	for _, s := range g.snapshotShards() {
@@ -333,6 +375,12 @@ func (g *Gateway) ResilienceCounters() map[string]int {
 			out[k] += v
 		}
 		s.mu.Unlock()
+	}
+	if n := g.cold.serveErrs.Load(); n > 0 {
+		out["watchdog.serve_errors"] += int(n)
+	}
+	if n := g.cold.bootErrs.Load(); n > 0 {
+		out["prefork.boot_failures"] += int(n)
 	}
 	return out
 }

@@ -51,6 +51,7 @@ import (
 	"hotc/internal/admission"
 	"hotc/internal/faas"
 	"hotc/internal/obs"
+	"hotc/internal/prefork"
 )
 
 // Handler is the buffered function body: bytes in, bytes out. The
@@ -75,37 +76,45 @@ type Function struct {
 	// body as a stream instead of a buffered slice.
 	Stream StreamHandler
 	// ColdStart is the artificial boot delay a fresh instance pays
-	// (container create + runtime init + app init).
+	// (container create + runtime init + app init). When the explicit
+	// phase fields below are zero, ColdStart is decomposed by the
+	// gateway's configured phase split (see EnableColdPath).
 	ColdStart time.Duration
+
+	// Image, when set, names this function's container image
+	// ("name:tag") in the gateway's registry. Boots then admit the
+	// image's layers into the layer cache and pay the pull phase only
+	// for layers actually missing — functions sharing base layers skip
+	// most of the pull.
+	Image string
+	// Pull, RuntimeInit and AppInit, when any is set, spell the boot
+	// phases out explicitly instead of splitting ColdStart: image
+	// pull/unpack, generic runtime init (pre-paid by a pre-forked
+	// generic), and function/app init (always paid).
+	Pull, RuntimeInit, AppInit time.Duration
 }
 
-// instance is one live watchdog: an HTTP server bound to a loopback
-// port, running the function handler.
+// instance is one live watchdog bound to a loopback port, running the
+// function handler. The server itself is a prefork.Watchdog: full cold
+// boots and generic-pool handoffs produce the same instance shape, and
+// stop() is deterministic (the accept-loop goroutine has exited when it
+// returns).
 type instance struct {
-	fn     Function
-	server *http.Server
-	addr   string
-	lis    net.Listener
+	fn   Function
+	wd   *prefork.Watchdog
+	addr string
 	// idleSince is when the instance last returned to the warm pool
 	// (set under the shard lock; read by the janitor).
 	idleSince time.Time
 }
 
-func startInstance(fn Function, maxBody int64) (*instance, error) {
-	lis, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("live: watchdog listen: %w", err)
-	}
-	inst := &instance{fn: fn, lis: lis, addr: lis.Addr().String()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+// watchdogHandler builds the watchdog-side request handler for fn —
+// what specialization installs into a generic or freshly-booted
+// watchdog.
+func watchdogHandler(fn Function, maxBody int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		serveFunction(w, r, fn, maxBody)
 	})
-	inst.server = &http.Server{Handler: mux}
-	go inst.server.Serve(lis)
-	// The cold start: container boot, runtime init, business init.
-	time.Sleep(fn.ColdStart)
-	return inst, nil
 }
 
 // serveFunction is the watchdog request handler. Streaming bodies run
@@ -205,9 +214,7 @@ func serveFunction(w http.ResponseWriter, r *http.Request, fn Function, maxBody 
 }
 
 func (i *instance) stop() {
-	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-	defer cancel()
-	i.server.Shutdown(ctx)
+	i.wd.Stop()
 }
 
 // stopAll shuts instances down concurrently and waits for all of them:
@@ -230,6 +237,10 @@ type Stats struct {
 	Requests   int
 	ColdStarts int
 	Reused     int
+	// GenericHandoffs counts the subset of ColdStarts served by
+	// specializing a pre-forked generic watchdog instead of a full
+	// boot (these requests still report X-Hotc-Reused: false).
+	GenericHandoffs int
 	// Prewarmed counts instances the controller booted ahead of demand.
 	Prewarmed int
 	// Retired counts instances stopped by controller scale-down or the
@@ -247,6 +258,7 @@ func (s *Stats) add(o Stats) {
 	s.Requests += o.Requests
 	s.ColdStarts += o.ColdStarts
 	s.Reused += o.Reused
+	s.GenericHandoffs += o.GenericHandoffs
 	s.Prewarmed += o.Prewarmed
 	s.Retired += o.Retired
 	s.Expired += o.Expired
@@ -355,6 +367,12 @@ type Gateway struct {
 	// afterwards; 0 = unlimited.
 	maxBody int64
 
+	// cold is the fast-cold-path state (see EnableColdPath): phase
+	// split, layer cache, generic pre-forked pool. Config fields are
+	// written before Start and read-only afterwards; counters are
+	// atomics.
+	cold coldPath
+
 	// obs is the optional metric hookup (see Instrument), read
 	// lock-free on the request path.
 	obs atomic.Pointer[instruments]
@@ -388,7 +406,7 @@ func NewGateway(reuse bool) *Gateway {
 		MaxIdleConnsPerHost: 16,
 		IdleConnTimeout:     90 * time.Second,
 	}
-	return &Gateway{
+	g := &Gateway{
 		reuse:     reuse,
 		epoch:     time.Now(),
 		nowFn:     time.Now,
@@ -397,6 +415,13 @@ func NewGateway(reuse bool) *Gateway {
 		transport: transport,
 		client:    &http.Client{Timeout: 30 * time.Second, Transport: transport},
 	}
+	// Seed the default phase split so an un-configured gateway still
+	// decomposes ColdStart (summing to exactly the same total delay);
+	// EnableColdPath overrides.
+	g.cold.pullFrac = defaultPullFrac
+	g.cold.runtimeFrac = defaultRuntimeFrac
+	g.cold.appFrac = defaultAppFrac
+	return g
 }
 
 // shard returns the function's shard, or nil if it was never
@@ -536,6 +561,11 @@ func (g *Gateway) Stop() {
 		s.mu.Unlock()
 	}
 	stopAll(insts)
+	// The generic pre-forked pool goes down with the gateway: idle
+	// generics stop concurrently, in-flight refills are waited out.
+	if g.cold.pool != nil {
+		g.cold.pool.Stop()
+	}
 	// Drop the keep-alive connections to the (now gone) watchdogs so
 	// their transport read loops exit with the gateway.
 	g.transport.CloseIdleConnections()
@@ -580,9 +610,10 @@ func (g *Gateway) WarmInstances(name string) int {
 	return len(s.idle)
 }
 
-// acquire returns a warm instance or boots a new one, tracking
-// in-flight demand for the controller.
-func (g *Gateway) acquire(s *shard) (*instance, bool, error) {
+// acquire returns a warm instance or boots a new one (via the generic
+// pre-forked pool when armed), tracking in-flight demand for the
+// controller.
+func (g *Gateway) acquire(s *shard) (*instance, bootInfo, error) {
 	s.mu.Lock()
 	fn := s.fn
 	s.ctl.inFlight++
@@ -596,17 +627,23 @@ func (g *Gateway) acquire(s *shard) (*instance, bool, error) {
 		s.stats.Requests++
 		s.syncWarmLocked()
 		s.mu.Unlock()
-		return inst, true, nil
+		return inst, bootInfo{mode: bootWarm}, nil
 	}
 	s.stats.ColdStarts++
 	s.stats.Requests++
 	s.mu.Unlock()
 
-	inst, err := startInstance(fn, g.maxBody) // cold boot outside the lock
+	inst, info, err := g.bootInstance(fn) // cold boot outside the lock
 	if err != nil {
 		g.decInFlight(s)
+		return nil, info, err
 	}
-	return inst, false, err
+	if info.mode == bootGeneric {
+		s.mu.Lock()
+		s.stats.GenericHandoffs++
+		s.mu.Unlock()
+	}
+	return inst, info, nil
 }
 
 // SetMaxBodyBytes bounds request bodies at the gateway and every
@@ -768,7 +805,8 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	ctx, cancelCtx := withDeadline(r, deadline)
 	defer cancelCtx()
 
-	inst, reused, err := g.acquire(s)
+	inst, boot, err := g.acquire(s)
+	reused := boot.mode == bootWarm
 	rt.reused = reused
 	if err != nil {
 		g.breakerFailure(s, "boot.failures")
@@ -776,6 +814,14 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		g.finishRequest(s, &rt, http.StatusBadGateway, err.Error())
 		return
+	}
+	// Annotate how the cold path was paid — generic handoff vs a full
+	// boot. Warm reuse stays out: the hot path adds no span events.
+	switch boot.mode {
+	case bootGeneric:
+		g.traceEvent(&rt, "boot", "generic-handoff")
+	case bootCold:
+		g.traceEvent(&rt, "boot", "full-cold")
 	}
 
 	// Forward to the watchdog over a real socket, streaming the request
@@ -844,6 +890,11 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	hdr.Set("X-Hotc-Reused", strconv.FormatBool(reused))
+	if !reused {
+		// Cold responses also say which cold path served them; warm
+		// responses skip the extra header (zero-alloc hot path).
+		hdr.Set(BootHeader, boot.mode.String())
+	}
 	if resp.ContentLength >= 0 {
 		hdr.Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
 	}

@@ -1,7 +1,10 @@
 package image
 
 import (
+	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -255,5 +258,97 @@ func TestPropertyCacheConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A single layer larger than the whole cap must still be admitted and
+// stay resident while protected (the engine cannot run a partially
+// present image), then be evicted by the next admission like any other
+// unprotected LRU content — the NewCacheWithCap boundary.
+func TestCacheCapacityLayerLargerThanCap(t *testing.T) {
+	c := NewCacheWithCap(50)
+	huge := Image{Name: "huge", Layers: []Layer{{ID: "h1", SizeMB: 300}}}
+	if added := c.Admit(huge); added != 300 {
+		t.Fatalf("Admit added %v MB, want 300", added)
+	}
+	if !c.Contains(huge) {
+		t.Fatal("oversized layer not resident after its own admit")
+	}
+	if got := c.SizeMB(); got != 300 {
+		t.Fatalf("cache size %v MB, want 300 (protected overflow)", got)
+	}
+	// A tiny follow-up admission unprotects it: the oversized layer is
+	// the LRU victim and the cache returns under cap.
+	tiny := Image{Name: "tiny", Layers: []Layer{{ID: "t1", SizeMB: 5}}}
+	c.Admit(tiny)
+	if c.Contains(huge) {
+		t.Fatal("oversized layer survived the next admission")
+	}
+	if got := c.SizeMB(); got > 50 {
+		t.Fatalf("cache still over cap after eviction: %v MB", got)
+	}
+}
+
+// The LRU sweep must never evict layers of the image being admitted,
+// even when several shared layers tie on last-use: the protected set is
+// pinned as a whole.
+func TestCacheCapacityPinsWholeProtectedSet(t *testing.T) {
+	c := NewCacheWithCap(100)
+	stale := Image{Name: "stale", Layers: []Layer{{ID: "s1", SizeMB: 30}, {ID: "s2", SizeMB: 30}}}
+	c.Admit(stale)
+	multi := Image{Name: "multi", Layers: []Layer{
+		{ID: "m1", SizeMB: 40}, {ID: "m2", SizeMB: 40}, {ID: "m3", SizeMB: 40},
+	}}
+	c.Admit(multi) // 180 MB total: both stale layers must go, no multi layer may
+	if !c.Contains(multi) {
+		t.Fatal("admitted image lost one of its own layers to the sweep")
+	}
+	if c.Contains(stale) {
+		t.Fatal("stale layers survived while the cache is over cap")
+	}
+	if got := c.SizeMB(); got != 120 {
+		t.Fatalf("cache size %v MB, want 120 (protected set alone)", got)
+	}
+}
+
+// Concurrent Admit/MissingMB/SizeMB from many goroutines over
+// overlapping images: the live gateway admits on every cold boot, so
+// the cache is on a concurrent path. Run under -race; the invariant is
+// that the total added MB across all admitters equals each layer paid
+// exactly once.
+func TestCacheConcurrentAdmit(t *testing.T) {
+	c := NewCache()
+	base := Layer{ID: "base", SizeMB: 100}
+	images := make([]Image, 8)
+	for i := range images {
+		images[i] = Image{Name: fmt.Sprintf("im%d", i), Layers: []Layer{
+			base, {ID: fmt.Sprintf("own%d", i), SizeMB: 10},
+		}}
+	}
+	var wg sync.WaitGroup
+	var totalAdded int64 // MB, integral by construction
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				im := images[(w+j)%len(images)]
+				c.MissingMB(im)
+				atomic.AddInt64(&totalAdded, int64(c.Admit(im)))
+				c.SizeMB()
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every layer was admitted by exactly one call: the shared base
+	// once, each per-image layer once.
+	want := int64(100 + 10*len(images))
+	if totalAdded != want {
+		t.Fatalf("concurrent admits paid %d MB total, want %d (layers double-paid or lost)", totalAdded, want)
+	}
+	for _, im := range images {
+		if !c.Contains(im) {
+			t.Fatalf("image %s incomplete after concurrent admits", im.Name)
+		}
 	}
 }

@@ -1,0 +1,89 @@
+#!/bin/sh
+# Cold-path anatomy bench: the same open-loop load driven through three
+# boot configurations, written to BENCH_coldpath.json at the repo root.
+#
+#   baseline_full_cold  every cold start pays the whole monolithic boot
+#                       (pull + runtime init + app init) — the
+#                       pre-prefork gateway
+#   layer_cache         functions share python:3.8; after the first
+#                       boot the pull phase is skipped for cached
+#                       layers, runtime + app init still paid
+#   prefork             generic pre-forked watchdogs pre-pay runtime
+#                       init off the request path; a cold start pays
+#                       only cache-scaled pull + app init
+#
+# The load shape forces recurring cold starts: arrivals round-robin
+# over 4 function copies with a keep-alive shorter than each copy's
+# inter-arrival gap, so warm instances keep expiring between requests.
+# hotc-load classifies every 2xx by X-Hotc-Reused and reports cold and
+# warm percentiles separately; cold p50 is the number under test. The
+# headline claim: prefork cuts cold-start p50 by >= 5x versus the full
+# cold baseline.
+#
+#   BENCH_DURATION=20s scripts/bench-coldpath.sh   # longer points
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_coldpath.json
+DURATION="${BENCH_DURATION:-10s}"
+RATE="${BENCH_RATE:-8}"
+COLD_MS=400
+TMPDIR="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR"' EXIT
+
+go build -o "$TMPDIR/hotc-load" ./cmd/hotc-load
+
+point() { # $1 = output basename, remaining args = extra hotc-load flags
+	name="$1"; shift
+	echo "== $name" >&2
+	"$TMPDIR/hotc-load" -rate "$RATE" -duration "$DURATION" \
+		-functions 4 -cold-start-ms "$COLD_MS" -body 5 \
+		-keepalive 250ms -reap-interval 100ms \
+		-out "$TMPDIR/$name.json" "$@" >&2
+}
+
+# cold_p50 pulls latency_ms_cold.p50 out of a report (MarshalIndent
+# puts each key on its own line inside the block).
+cold_p50() {
+	sed -n '/"latency_ms_cold"/,/}/s/.*"p50": \([0-9.]*\).*/\1/p' "$TMPDIR/$1.json" | head -n 1
+}
+
+point baseline_full_cold
+point layer_cache -image python:3.8
+point prefork -image python:3.8 -prefork -prefork-size 8 -prefork-boot-ms 120
+
+BASE_P50="$(cold_p50 baseline_full_cold)"
+CACHE_P50="$(cold_p50 layer_cache)"
+PREFORK_P50="$(cold_p50 prefork)"
+SPEEDUP="$(awk "BEGIN { printf \"%.1f\", $BASE_P50 / $PREFORK_P50 }")"
+GOVER="$(go env GOVERSION)"
+
+cat > "$OUT" <<EOF
+{
+  "generated_by": "scripts/bench-coldpath.sh",
+  "go": "$GOVER",
+  "duration_per_point": "$DURATION",
+  "note": "Open-loop load (rate ${RATE}/s round-robin over 4 function copies, 5ms service) against a self-hosted daemon over loopback TCP, coldStartMs ${COLD_MS} split 55/30/15 into pull/runtime/app. Keep-alive 250ms is shorter than each copy's inter-arrival gap, so cold starts recur throughout. Cold vs warm classified per response by X-Hotc-Reused; latency_ms_cold.p50 is the number under test. baseline_full_cold is the pre-prefork gateway (no image, every cold boot pays all three phases); layer_cache shares python:3.8 across the copies so cached layers skip the pull phase; prefork adds the generic pre-forked pool (size 8, 120ms generic boot paid off the request path) so cold starts pay only cache-scaled pull + app init.",
+  "cold_p50_ms": {
+    "baseline_full_cold": $BASE_P50,
+    "layer_cache": $CACHE_P50,
+    "prefork": $PREFORK_P50
+  },
+  "prefork_speedup_vs_baseline": $SPEEDUP,
+  "claims": [
+    "prefork cuts cold-start p50 by >= 5x versus the full-cold baseline (runtime init pre-paid, pull skipped for cached layers: only app init remains)",
+    "the layer cache alone removes the pull share (55%) from every cold start after the first boot of the shared image",
+    "warm-hit latency is unchanged across all three configurations: the fast cold path adds nothing to the reuse path",
+    "generic-pool refills never run on the request path: cold latency under prefork is below the 120ms generic boot itself"
+  ],
+  "baseline_full_cold": $(sed 's/^/  /' "$TMPDIR/baseline_full_cold.json" | sed '1s/^  //'),
+  "layer_cache": $(sed 's/^/  /' "$TMPDIR/layer_cache.json" | sed '1s/^  //'),
+  "prefork": $(sed 's/^/  /' "$TMPDIR/prefork.json" | sed '1s/^  //')
+}
+EOF
+
+echo "wrote $OUT (cold p50: baseline=${BASE_P50}ms cache=${CACHE_P50}ms prefork=${PREFORK_P50}ms, speedup=${SPEEDUP}x)"
+awk "BEGIN { exit !($SPEEDUP >= 5.0) }" || {
+	echo "bench-coldpath: WARNING speedup ${SPEEDUP}x below the 5x claim" >&2
+	exit 1
+}

@@ -26,7 +26,11 @@ fi
 for fam in hotc_trace_kept_total hotc_trace_sampled_out_total \
            hotc_trace_ring_dropped_total hotc_slo_burn_rate \
            hotc_slo_bad_fraction hotc_slo_breach hotc_slo_budget \
-           hotc_build_info hotc_uptime_seconds; do
+           hotc_build_info hotc_uptime_seconds \
+           hotc_coldpath_boots_total hotc_coldpath_phase_ms \
+           hotc_coldpath_generic_idle hotc_coldpath_refills_total \
+           hotc_coldpath_generic_reaped_total \
+           hotc_coldpath_pull_skipped_mb_total; do
     if ! grep -rq --include='*.go' --exclude='*_test.go' "\"$fam\"" cmd internal; then
         echo "lint-metrics: required metric family $fam is not registered anywhere" >&2
         exit 1

@@ -66,6 +66,53 @@ curl -sf -X POST "$BASE/function/qr" -d 'verify' >/dev/null
 kill "$HOTCD_PID" 2>/dev/null || true
 wait "$HOTCD_PID" 2>/dev/null || true
 HOTCD_PID=""
+echo "== prefork smoke (generic handoff beats the full cold boot)"
+# Boot a daemon with the generic pool armed, deploy a fresh 400ms
+# function and time its first request: it must answer X-Hotc-Reused:
+# false (it IS a cold start) with X-Hotc-Boot: generic, and complete
+# well under the full 400ms — only the app-init share is paid.
+"$LOADTMP/hotcd" -addr 127.0.0.1:0 -prefork -preload=false \
+	>"$LOADTMP/prefork.log" 2>&1 &
+HOTCD_PID=$!
+BASE=""
+i=0
+while [ $i -lt 50 ]; do
+	BASE="$(sed -n 's/^hotcd listening on //p' "$LOADTMP/prefork.log" | head -n 1)"
+	[ -n "$BASE" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$BASE" ]; then
+	echo "verify: prefork hotcd did not come up" >&2
+	cat "$LOADTMP/prefork.log" >&2
+	exit 1
+fi
+sleep 0.5 # let the generic pool finish its prefill (120ms boots)
+curl -sf -X POST "$BASE/system/functions" \
+	-d '{"name":"fresh","handler":"upper","coldStartMs":400}' >/dev/null
+T0=$(date +%s%N)
+curl -sf -D "$LOADTMP/prefork-headers" -o /dev/null \
+	-X POST "$BASE/function/fresh" -d 'smoke'
+T1=$(date +%s%N)
+FIRST_MS=$(((T1 - T0) / 1000000))
+grep -qi '^x-hotc-reused: false' "$LOADTMP/prefork-headers" || {
+	echo "verify: first request to a fresh function was not a cold start" >&2
+	cat "$LOADTMP/prefork-headers" >&2
+	exit 1
+}
+grep -qi '^x-hotc-boot: generic' "$LOADTMP/prefork-headers" || {
+	echo "verify: first request did not specialize a generic watchdog" >&2
+	cat "$LOADTMP/prefork-headers" >&2
+	exit 1
+}
+if [ "$FIRST_MS" -ge 300 ]; then
+	echo "verify: generic handoff took ${FIRST_MS}ms, want well under the 400ms full cold" >&2
+	exit 1
+fi
+echo "   generic handoff: ${FIRST_MS}ms (full cold is 400ms)"
+kill "$HOTCD_PID" 2>/dev/null || true
+wait "$HOTCD_PID" 2>/dev/null || true
+HOTCD_PID=""
 echo "== router smoke (hotc-router + 2 hotcd: routed request round-trips with trace headers)"
 # Boot a two-node cluster behind the router and drive one traced
 # request through it: the response must come back 200 with the
