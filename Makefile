@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-contention bench-datapath bench-saturation bench-cluster bench-coldpath lint-metrics
+.PHONY: build test verify bench bench-contention bench-datapath bench-saturation bench-cluster bench-coldpath bench-sharing lint-metrics
 
 build:
 	$(GO) build ./...
@@ -42,3 +42,9 @@ bench-cluster:
 # generic pool, cold/warm latency split written to BENCH_coldpath.json.
 bench-coldpath:
 	./scripts/bench-coldpath.sh
+
+# Inter-function sharing suite: keep-alive only vs prefork vs
+# prefork+sharing under a skewed multi-function load, per-boot-mode
+# latency split written to BENCH_sharing.json.
+bench-sharing:
+	./scripts/bench-sharing.sh

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"hotc/internal/faas/live"
+	"hotc/internal/predictor"
 )
 
 type tenantShare struct {
@@ -47,27 +48,36 @@ type tenantShare struct {
 // result is the JSON report. Fractions are of sent requests; goodput
 // counts 2xx only.
 type result struct {
-	Target       string             `json:"target"`
-	Function     string             `json:"function"`
-	RateRPS      float64            `json:"rate_rps"`
-	DurationS    float64            `json:"duration_s"`
-	Sent         int64              `json:"sent"`
-	ClientDrops  int64              `json:"client_drops"`
-	Status       map[string]int64   `json:"status"`
-	GoodputRPS   float64            `json:"goodput_rps"`
-	OKFraction   float64            `json:"ok_fraction"`
-	RejectedFrac float64            `json:"rejected_fraction"`
-	FivexxFrac   float64            `json:"fivexx_fraction"`
-	RetryAfter   int64              `json:"retry_after_present"`
+	Target       string           `json:"target"`
+	Function     string           `json:"function"`
+	RateRPS      float64          `json:"rate_rps"`
+	DurationS    float64          `json:"duration_s"`
+	Sent         int64            `json:"sent"`
+	ClientDrops  int64            `json:"client_drops"`
+	Status       map[string]int64 `json:"status"`
+	GoodputRPS   float64          `json:"goodput_rps"`
+	OKFraction   float64          `json:"ok_fraction"`
+	RejectedFrac float64          `json:"rejected_fraction"`
+	FivexxFrac   float64          `json:"fivexx_fraction"`
+	RetryAfter   int64            `json:"retry_after_present"`
 	// ColdStarts/WarmHits classify served (2xx) responses by the
 	// X-Hotc-Reused header the gateway stamps on every proxied reply;
 	// ColdFraction is ColdStarts over the classified total. Benches
 	// read the cold rate here instead of scraping /system/stats
 	// mid-run.
-	ColdStarts   int64              `json:"cold_starts"`
-	WarmHits     int64              `json:"warm_hits"`
-	ColdFraction float64            `json:"cold_fraction"`
-	LatencyMS    map[string]float64 `json:"latency_ms"`
+	ColdStarts   int64   `json:"cold_starts"`
+	WarmHits     int64   `json:"warm_hits"`
+	ColdFraction float64 `json:"cold_fraction"`
+	// BootModes splits served (2xx) responses by how their instance was
+	// acquired, from the X-Hotc-Boot header: "warm" (reused), "rented"
+	// (leased from another function), "generic" (prefork handoff),
+	// "cold" (full boot). ModeFractions are of the classified total and
+	// LatencyByModeMS carries per-mode percentiles — the sharing bench's
+	// primary read-out.
+	BootModes       map[string]int64              `json:"boot_modes,omitempty"`
+	ModeFractions   map[string]float64            `json:"mode_fractions,omitempty"`
+	LatencyByModeMS map[string]map[string]float64 `json:"latency_ms_by_mode,omitempty"`
+	LatencyMS       map[string]float64            `json:"latency_ms"`
 	// LatencyColdMS/LatencyWarmMS split the 2xx percentiles by cold vs
 	// warm — the cold-path bench's primary read-out.
 	LatencyColdMS map[string]float64 `json:"latency_ms_cold,omitempty"`
@@ -126,10 +136,23 @@ func main() {
 		prefork   = flag.Bool("prefork", false, "self-hosted: arm the generic pre-forked watchdog pool")
 		preforkN  = flag.Int("prefork-size", 4, "self-hosted: generic pool target size")
 		preforkMs = flag.Int("prefork-boot-ms", 0, "self-hosted: generic watchdog boot delay in ms (off the request path)")
+		layerCch  = flag.Bool("layer-cache", true, "self-hosted: cache image layers on the host (false models a node whose pulls always go to the registry)")
+		layerCap  = flag.Float64("layer-cache-cap", 0, "self-hosted: layer cache capacity in MB with LRU eviction (0 = unbounded)")
+		share     = flag.Bool("share", false, "self-hosted: arm inter-function sharing (cold starts may rent idle instances across functions)")
+		sharePol  = flag.String("share-policy", "same-image", "self-hosted: sharing compatibility mode, same-image|any")
+		shareWp   = flag.Int("share-wipe-ms", 5, "self-hosted: volume-wipe milliseconds paid per lease")
+		shareGr   = flag.Duration("share-idle-grace", 0, "self-hosted: minimum idle age before lending (0 = daemon default; negative = none)")
+		predName  = flag.String("predictor", "", "self-hosted: demand predictor for the adaptive controller, es|markov|es+markov|off (empty = controller off)")
+		headroom  = flag.Float64("headroom", 0, "self-hosted: forecast headroom fraction")
+		ctlEvery  = flag.Duration("control-interval", 0, "self-hosted: controller period (0 = daemon default when -predictor is set)")
+		fnWeights = flag.String("fn-weights", "", "comma-separated integer weights skewing arrivals across the -functions copies, e.g. 8,1,1,1 (empty = uniform round-robin)")
 		// CI assertions.
-		assertMinOK   = flag.Float64("assert-min-ok", -1, "exit 1 if ok_fraction falls below this (-1 = off)")
-		assertMax5xx  = flag.Float64("assert-max-5xx", -1, "exit 1 if fivexx_fraction exceeds this (-1 = off)")
-		assertMaxCold = flag.Float64("assert-max-cold", -1, "exit 1 if cold_fraction (from X-Hotc-Reused) exceeds this (-1 = off)")
+		assertMinOK    = flag.Float64("assert-min-ok", -1, "exit 1 if ok_fraction falls below this (-1 = off)")
+		assertMax5xx   = flag.Float64("assert-max-5xx", -1, "exit 1 if fivexx_fraction exceeds this (-1 = off)")
+		assertMaxCold  = flag.Float64("assert-max-cold", -1, "exit 1 if cold_fraction (from X-Hotc-Reused) exceeds this (-1 = off)")
+		assertMaxGen   = flag.Float64("assert-max-generic", -1, "exit 1 if the generic-handoff mode fraction exceeds this (-1 = off)")
+		assertMaxRent  = flag.Float64("assert-max-rented", -1, "exit 1 if the rented-boot mode fraction exceeds this (-1 = off)")
+		assertMaxFCold = flag.Float64("assert-max-fullcold", -1, "exit 1 if the full-cold mode fraction exceeds this (-1 = off)")
 	)
 	flag.Parse()
 
@@ -141,16 +164,32 @@ func main() {
 	base := *target
 	var daemon *live.Daemon
 	if base == "" {
+		var newPred func() predictor.Predictor
+		if *predName != "" {
+			newPred, err = live.PredictorFactory(*predName)
+			if err != nil {
+				fatal(err)
+			}
+		}
 		daemon = live.NewDaemon(live.PoolConfig{
-			MaxInFlight:     *maxInFl,
-			QueueDepth:      *queueLen,
-			DefaultDeadline: *defDeadl,
-			MemoryBudget:    *memBudget,
-			IdleTTL:         *keepalive,
-			ReapInterval:    *reapEvery,
-			Prefork:         *prefork,
-			PreforkSize:     *preforkN,
-			PreforkBoot:     time.Duration(*preforkMs) * time.Millisecond,
+			MaxInFlight:       *maxInFl,
+			QueueDepth:        *queueLen,
+			DefaultDeadline:   *defDeadl,
+			MemoryBudget:      *memBudget,
+			IdleTTL:           *keepalive,
+			ReapInterval:      *reapEvery,
+			Prefork:           *prefork,
+			PreforkSize:       *preforkN,
+			PreforkBoot:       time.Duration(*preforkMs) * time.Millisecond,
+			DisableLayerCache: !*layerCch,
+			LayerCacheCapMB:   *layerCap,
+			Share:             *share,
+			SharePolicy:       *sharePol,
+			ShareWipe:         time.Duration(*shareWp) * time.Millisecond,
+			ShareIdleGrace:    *shareGr,
+			NewPredictor:      newPred,
+			Headroom:          *headroom,
+			ControlInterval:   *ctlEvery,
 		})
 		base, err = daemon.StartOn("127.0.0.1:0")
 		if err != nil {
@@ -171,7 +210,12 @@ func main() {
 		}
 	}
 
-	res := run(base, names, *body, tenants, *rate, *duration, *deadlineMs, *maxOut)
+	weights, err := parseWeights(*fnWeights, len(names))
+	if err != nil {
+		fatal(err)
+	}
+
+	res := run(base, names, weights, *body, tenants, *rate, *duration, *deadlineMs, *maxOut)
 	if daemon != nil {
 		warm := 0
 		for _, n := range names {
@@ -202,6 +246,35 @@ func main() {
 	if *assertMaxCold >= 0 && res.ColdFraction > *assertMaxCold {
 		fatal(fmt.Errorf("cold_fraction %.3f above asserted maximum %.3f", res.ColdFraction, *assertMaxCold))
 	}
+	assertMode := func(mode string, max float64) {
+		if max >= 0 && res.ModeFractions[mode] > max {
+			fatal(fmt.Errorf("%s mode fraction %.3f above asserted maximum %.3f", mode, res.ModeFractions[mode], max))
+		}
+	}
+	assertMode("generic", *assertMaxGen)
+	assertMode("rented", *assertMaxRent)
+	assertMode("cold", *assertMaxFCold)
+}
+
+// parseWeights parses -fn-weights into one positive integer per
+// function; empty means uniform.
+func parseWeights(s string, n int) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("-fn-weights has %d entries for %d functions", len(parts), n)
+	}
+	out := make([]int, n)
+	for i, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -fn-weights entry %q (want a positive integer)", p)
+		}
+		out[i] = w
+	}
+	return out, nil
 }
 
 func fatal(err error) {
@@ -250,14 +323,17 @@ func deploy(base, name, handler string, coldMs int, image string) {
 
 // run fires the open-loop arrival schedule: request i departs at
 // start + i/rate, no matter what happened to requests 0..i-1. With
-// multiple functions arrivals round-robin across them.
-func run(base string, functions []string, body string, tenants []tenantShare, rate float64, duration time.Duration, deadlineMs, maxOut int) *result {
+// multiple functions arrivals round-robin across them; weights skew
+// the cycle deterministically (weight w = w slots per cycle).
+func run(base string, functions []string, weights []int, body string, tenants []tenantShare, rate float64, duration time.Duration, deadlineMs, maxOut int) *result {
 	var (
 		mu        sync.Mutex
 		status    = map[string]int64{}
 		latencies []float64
 		coldLat   []float64
 		warmLat   []float64
+		modeN     = map[string]int64{}
+		modeLat   = map[string][]float64{}
 		cold      int64
 		warmN     int64
 		perTenant = map[string]*tstats{}
@@ -287,6 +363,16 @@ func run(base string, functions []string, body string, tenants []tenantShare, ra
 	urls := make([]string, len(functions))
 	for i, fn := range functions {
 		urls[i] = base + "/function/" + fn
+	}
+	// Weighted deterministic URL cycle, mirroring the tenant cycle.
+	urlCycle := urls
+	if weights != nil {
+		urlCycle = nil
+		for i, w := range weights {
+			for j := 0; j < w; j++ {
+				urlCycle = append(urlCycle, urls[i])
+			}
+		}
 	}
 
 	for i := 0; ; i++ {
@@ -336,20 +422,31 @@ func run(base string, functions []string, body string, tenants []tenantShare, ra
 			latMs := float64(elapsed.Microseconds()) / 1000
 			traceID := resp.Header.Get("X-Hotc-Trace-Id")
 			reusedHdr := resp.Header.Get("X-Hotc-Reused")
+			bootHdr := resp.Header.Get("X-Hotc-Boot")
 			mu.Lock()
 			status[strconv.Itoa(resp.StatusCode)]++
 			if resp.StatusCode < 300 {
 				latencies = append(latencies, latMs)
 				// The gateway stamps X-Hotc-Reused on every proxied
 				// reply: classify served requests cold vs warm here, so
-				// benches never scrape /system/stats mid-run.
+				// benches never scrape /system/stats mid-run. The finer
+				// X-Hotc-Boot header splits non-reused boots into
+				// rented / generic / full-cold modes.
 				switch reusedHdr {
 				case "true":
 					warmN++
 					warmLat = append(warmLat, latMs)
+					modeN["warm"]++
+					modeLat["warm"] = append(modeLat["warm"], latMs)
 				case "false":
 					cold++
 					coldLat = append(coldLat, latMs)
+					mode := bootHdr
+					if mode == "" {
+						mode = "cold"
+					}
+					modeN[mode]++
+					modeLat[mode] = append(modeLat[mode], latMs)
 				}
 				if tenant != "" {
 					tenantLat[tenant] = append(tenantLat[tenant], latMs)
@@ -371,7 +468,7 @@ func run(base string, functions []string, body string, tenants []tenantShare, ra
 				}
 			}
 			mu.Unlock()
-		}(tenant, urls[i%len(urls)])
+		}(tenant, urlCycle[i%len(urlCycle)])
 	}
 	wg.Wait()
 
@@ -392,6 +489,13 @@ func run(base string, functions []string, body string, tenants []tenantShare, ra
 	}
 	if cold+warmN > 0 {
 		res.ColdFraction = float64(cold) / float64(cold+warmN)
+		res.BootModes = modeN
+		res.ModeFractions = map[string]float64{}
+		res.LatencyByModeMS = map[string]map[string]float64{}
+		for mode, n := range modeN {
+			res.ModeFractions[mode] = float64(n) / float64(cold+warmN)
+			res.LatencyByModeMS[mode] = percentiles(modeLat[mode])
+		}
 	}
 	if len(perTenant) > 0 {
 		for name, ts := range perTenant {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"hotc/internal/faas/live"
+	"hotc/internal/sharing"
 )
 
 func main() {
@@ -63,11 +64,19 @@ func main() {
 		layerCch  = flag.Bool("layer-cache", true, "cache image layers on the host so functions sharing base layers skip most of the pull phase")
 		layerCap  = flag.Float64("layer-cache-cap", 0, "layer cache capacity in MB with LRU eviction (0 = unbounded)")
 		bootSplit = flag.String("boot-split", "", "pull:runtime:app percentage split of coldStartMs for functions without explicit phases, e.g. 55:30:15 (empty = default)")
+		share     = flag.Bool("share", false, "inter-function sharing: cold starts may rent an idle instance from another function, paying only volume wipe + app init (+ image-layer delta) instead of a full boot")
+		sharePol  = flag.String("share-policy", "same-image", "which function pairs may share: same-image|any")
+		shareWp   = flag.Int("share-wipe-ms", 5, "milliseconds one lease pays to wipe the lender's volume before re-specialization")
+		shareGr   = flag.Duration("share-idle-grace", 250*time.Millisecond, "minimum idle age before an instance may be lent to another function")
 	)
 	flag.Parse()
 
 	newPred, err := live.PredictorFactory(*predName)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotcd:", err)
+		os.Exit(2)
+	}
+	if _, err := sharing.ParseMode(*sharePol); err != nil {
 		fmt.Fprintln(os.Stderr, "hotcd:", err)
 		os.Exit(2)
 	}
@@ -106,6 +115,10 @@ func main() {
 		BootPullFrac:       pullFrac,
 		BootRuntimeFrac:    rtFrac,
 		BootAppFrac:        appFrac,
+		Share:              *share,
+		SharePolicy:        *sharePol,
+		ShareWipe:          time.Duration(*shareWp) * time.Millisecond,
+		ShareIdleGrace:     *shareGr,
 	})
 	if *preload {
 		for _, h := range live.Builtins() {
@@ -146,6 +159,10 @@ func main() {
 	if *prefork {
 		fmt.Printf("cold path: prefork pool size=%d generic-boot=%dms; cold starts pay pull+app-init only (X-Hotc-Boot: generic|cold)\n",
 			*preforkN, *preforkMs)
+	}
+	if *share {
+		fmt.Printf("sharing: on policy=%s wipe=%dms idle-grace=%v; cold starts may rent idle instances across functions (X-Hotc-Boot: rented, opt out per deploy with \"shareable\": false)\n",
+			*sharePol, *shareWp, *shareGr)
 	}
 	if *layerCch {
 		capNote := "unbounded"

@@ -126,6 +126,15 @@ type Config struct {
 	MemoryThresholdPct float64
 	// EnableRelaxedMatching turns on §VII fuzzy-key reuse.
 	EnableRelaxedMatching bool
+	// EnableSharing turns on Pagurus-style inter-function sharing: on a
+	// pool miss, an idle container of another runtime key is wiped and
+	// re-keyed as a zygote for the requested spec instead of paying a
+	// full cold start.
+	EnableSharing bool
+	// ShareIdleGrace keeps containers off the lending market until they
+	// have sat idle this long, so renters only take genuine surplus and
+	// never steal a busy function's working set (zero = no grace).
+	ShareIdleGrace time.Duration
 	// LocalImages pre-pulls the catalog into the layer cache, matching
 	// the paper's locally-stored images (default true behaviour is
 	// opt-in via this flag).
@@ -327,6 +336,8 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		MemThresholdPct: cfg.MemoryThresholdPct,
 		MemUsedPct:      s.hostM.UsedMemPct,
 		EnableRelaxed:   cfg.EnableRelaxedMatching,
+		EnableSharing:   cfg.EnableSharing,
+		ShareIdleGrace:  cfg.ShareIdleGrace,
 	}
 	if cfg.Faults != nil {
 		inj, err := faults.New(*cfg.Faults, sched.Now)

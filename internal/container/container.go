@@ -188,6 +188,9 @@ type Stats struct {
 	WarmStarts  int // executions that skipped initialisation
 	PulledMB    float64
 	CleanedVols int
+	// Repurposed counts containers re-keyed to a different runtime
+	// spec by inter-function sharing leases.
+	Repurposed int
 }
 
 // Engine is the simulated container engine. It is single-threaded by
@@ -547,6 +550,44 @@ func (e *Engine) CleanVolume(c *Container, done func(error)) {
 		c.Volume.Generation++
 		c.Volume.Dirty = false
 		e.stats.CleanedVols++
+		done(nil)
+	})
+}
+
+// Repurpose asynchronously re-keys an idle container as a zygote for a
+// different runtime spec — the lease mechanism behind inter-function
+// sharing (Pagurus-style). The volume is wiped and remounted exactly
+// like Algorithm 2's used-container cleanup, the image-layer delta
+// between the container's current image and the new spec's is pulled
+// (cache-scaled; zero when the images match), and the application warm
+// state is dropped: the container skips engine/network/volume/watchdog
+// setup entirely, but the next execution pays app initialisation
+// again. On completion the container is Available under its NEW spec;
+// the caller owns re-indexing it.
+func (e *Engine) Repurpose(c *Container, spec Spec, done func(error)) {
+	if done == nil {
+		panic("container: Repurpose requires a completion callback")
+	}
+	if c.state != Available {
+		done(fmt.Errorf("container: repurposing %s in state %v", c.ID, c.state))
+		return
+	}
+	missing := e.cache.MissingMB(spec.Image)
+	cost := e.jitter(e.cm.VolumeCleanupCost() + e.cm.VolumeSetupCost() +
+		e.cm.PullCost(missing) + e.cm.UnpackCost(missing))
+	c.state = NotAvailable
+	e.sched.After(cost, func() {
+		e.cache.Admit(spec.Image)
+		e.stats.PulledMB += missing
+		c.Spec = spec
+		for k := range c.warm {
+			delete(c.warm, k)
+		}
+		c.Volume.Generation++
+		c.Volume.Dirty = false
+		c.state = Available
+		e.stats.CleanedVols++
+		e.stats.Repurposed++
 		done(nil)
 	})
 }

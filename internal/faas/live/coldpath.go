@@ -9,9 +9,10 @@ import (
 )
 
 // BootHeader reports how the serving instance came to exist:
-// "generic" (specialized from the pre-forked pool) or "cold" (full
-// boot). Warm reuses carry only X-Hotc-Reused: true — the hot path
-// stays header- and allocation-free.
+// "rented" (an idle container leased from another function and
+// re-specialized), "generic" (specialized from the pre-forked pool) or
+// "cold" (full boot). Warm reuses carry only X-Hotc-Reused: true — the
+// hot path stays header- and allocation-free.
 const BootHeader = "X-Hotc-Boot"
 
 // The default ColdStart phase split when a function does not declare
@@ -136,6 +137,9 @@ type bootMode uint8
 const (
 	// bootWarm reused an idle instance from the warm pool.
 	bootWarm bootMode = iota
+	// bootRented leased an idle instance from another function: volume
+	// wipe + re-specialization + app init (plus any image-layer delta).
+	bootRented
 	// bootGeneric specialized a pre-forked generic watchdog.
 	bootGeneric
 	// bootCold paid the full boot: pull + runtime init + app init.
@@ -148,6 +152,8 @@ func (m bootMode) String() string {
 	switch m {
 	case bootWarm:
 		return "warm"
+	case bootRented:
+		return "rented"
 	case bootGeneric:
 		return "generic"
 	default:
@@ -162,6 +168,9 @@ type bootInfo struct {
 	// pull, runtime and app are the phase delays actually slept (pull
 	// already cache-scaled; runtime is zero on a generic handoff).
 	pull, runtime, app time.Duration
+	// wipe is the volume-cleanup delay a rented boot paid before
+	// re-specialization (zero on every other mode).
+	wipe time.Duration
 	// skippedMB is the image download avoided by layer-cache hits.
 	skippedMB float64
 }
@@ -282,6 +291,17 @@ func (g *Gateway) observeBoot(info bootInfo) {
 		return
 	}
 	switch info.mode {
+	case bootRented:
+		// Rented boots have their own phase family (wipe has no
+		// cold-boot analogue) and stay out of hotc_coldpath_phase_ms.
+		ins.coldBootsRented.Inc()
+		ins.sharePhaseWipe.ObserveDuration(info.wipe)
+		ins.sharePhasePull.ObserveDuration(info.pull)
+		ins.sharePhaseApp.ObserveDuration(info.app)
+		if info.skippedMB > 0 {
+			ins.coldSkippedMB.Add(info.skippedMB)
+		}
+		return
 	case bootGeneric:
 		ins.coldBootsGeneric.Inc()
 	case bootCold:

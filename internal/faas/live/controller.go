@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hotc/internal/predictor"
+	"hotc/internal/sharing"
 )
 
 // ControlConfig arms the live gateway's adaptive container control
@@ -79,6 +80,12 @@ type fnControl struct {
 	ticks     int
 	observed  []float64
 	predicted []float64
+
+	// share classifies the function as lender/renter/neutral from the
+	// same demand history (see sharing.Classifier); only fed when the
+	// gateway has sharing enabled. Zero value = neutral, which is what
+	// an unclassified function must be.
+	share sharing.Classifier
 }
 
 // EnableControl configures adaptive control. Call before Start; the
@@ -192,6 +199,16 @@ func (g *Gateway) controlOnce(name string, now time.Time) {
 	// an interval is the one made *before* observing it.
 	st.observed = appendBounded(st.observed, demand)
 	st.predicted = appendBounded(st.predicted, st.forecast)
+	// The sharing classifier judges the forecast that was made for
+	// this interval — before it is overwritten below — against what
+	// the interval actually brought, plus the idle surplus standing
+	// around right now.
+	if g.share.enabled {
+		prevRole := st.share.Role()
+		if role := st.share.Observe(st.forecast, demand, float64(len(s.idle))); role != prevRole {
+			g.shareRoleTransition(prevRole, role, ins)
+		}
+	}
 	st.pred.Observe(demand)
 	raw := st.pred.Predict()
 	st.forecast = raw
@@ -380,6 +397,12 @@ type PredictionTrace struct {
 	Ticks     int       `json:"ticks"`
 	Observed  []float64 `json:"observed"`
 	Predicted []float64 `json:"predicted"`
+	// Role and ForecastError expose the sharing classifier: the
+	// function's lender/renter/neutral classification and the smoothed
+	// forecast error it was derived from (positive = over-forecasted).
+	// Role is empty when sharing is disabled.
+	Role          string  `json:"role,omitempty"`
+	ForecastError float64 `json:"forecastError"`
 }
 
 // PredictionTraces snapshots the controller state of every function
@@ -389,13 +412,18 @@ func (g *Gateway) PredictionTraces() map[string]PredictionTrace {
 	for _, s := range g.snapshotShards() {
 		s.mu.Lock()
 		if s.ctl.pred != nil {
-			out[s.name] = PredictionTrace{
+			tr := PredictionTrace{
 				Predictor: s.ctl.pred.Name(),
 				Forecast:  s.ctl.forecast,
 				Ticks:     s.ctl.ticks,
 				Observed:  append([]float64(nil), s.ctl.observed...),
 				Predicted: append([]float64(nil), s.ctl.predicted...),
 			}
+			if g.share.enabled {
+				tr.Role = s.ctl.share.Role().String()
+				tr.ForecastError = s.ctl.share.ForecastError()
+			}
+			out[s.name] = tr
 		}
 		s.mu.Unlock()
 	}

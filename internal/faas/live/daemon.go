@@ -20,6 +20,7 @@ import (
 	"hotc/internal/image"
 	"hotc/internal/obs"
 	"hotc/internal/predictor"
+	"hotc/internal/sharing"
 )
 
 // PoolConfig tunes the daemon gateway's warm-instance management,
@@ -121,6 +122,20 @@ type PoolConfig struct {
 	// into the §III.B phases for functions without explicit ones. All
 	// zero = the 55/30/15 defaults.
 	BootPullFrac, BootRuntimeFrac, BootAppFrac float64
+	// Share arms inter-function sharing: on a warm miss the gateway
+	// leases an idle instance from another function before paying any
+	// boot.
+	Share bool
+	// SharePolicy selects the compatibility rule ("same-image", the
+	// default, or "any"); see sharing.ParseMode. Unknown values fall
+	// back to same-image — the CLIs validate before they get here.
+	SharePolicy string
+	// ShareWipe is the volume-cleanup cost each lease pays (default
+	// 5ms).
+	ShareWipe time.Duration
+	// ShareIdleGrace is the minimum idle age before an instance may be
+	// lent (default 250ms; negative = none).
+	ShareIdleGrace time.Duration
 }
 
 // Daemon is the long-running HotC gateway server: the live gateway
@@ -376,6 +391,17 @@ func NewDaemon(cfg PoolConfig) *Daemon {
 		d.slo.Instrument(d.reg)
 		d.gw.SetSLO(d.slo)
 	}
+	if cfg.Share {
+		mode, err := sharing.ParseMode(cfg.SharePolicy)
+		if err != nil {
+			mode = sharing.ModeSameImage
+		}
+		d.gw.EnableSharing(SharingConfig{
+			Policy:    sharing.Policy{Mode: mode},
+			Wipe:      cfg.ShareWipe,
+			IdleGrace: cfg.ShareIdleGrace,
+		})
+	}
 	d.gw.EnableControl(ControlConfig{
 		Interval:        cfg.ControlInterval,
 		NewPredictor:    cfg.NewPredictor,
@@ -422,6 +448,13 @@ type DeploySpec struct {
 	PullMs        int `json:"pullMs,omitempty"`
 	RuntimeInitMs int `json:"runtimeInitMs,omitempty"`
 	AppInitMs     int `json:"appInitMs,omitempty"`
+	// Shareable is the per-deploy sharing opt-out (default true):
+	// false keeps this function's instances out of inter-function
+	// sharing on both sides.
+	Shareable *bool `json:"shareable,omitempty"`
+	// MemoryMB declares the function's memory class for the sharing
+	// policy (0 = unconstrained).
+	MemoryMB int `json:"memoryMB,omitempty"`
 }
 
 // Deploy registers a function from a spec.
@@ -449,6 +482,11 @@ func (d *Daemon) Deploy(spec DeploySpec) error {
 	fn.Pull = time.Duration(spec.PullMs) * time.Millisecond
 	fn.RuntimeInit = time.Duration(spec.RuntimeInitMs) * time.Millisecond
 	fn.AppInit = time.Duration(spec.AppInitMs) * time.Millisecond
+	fn.NoShare = spec.Shareable != nil && !*spec.Shareable
+	if spec.MemoryMB < 0 {
+		return fmt.Errorf("live: negative memoryMB")
+	}
+	fn.MemoryMB = spec.MemoryMB
 	if err := d.gw.Register(fn); err != nil {
 		return err
 	}
@@ -532,12 +570,13 @@ func (d *Daemon) routes() *http.ServeMux {
 			Admission     map[string]admission.Stats `json:"admission,omitempty"`
 			WarmMemory    WarmMemoryStats            `json:"warmMemory,omitempty"`
 			ColdPath      ColdPathStats              `json:"coldPath"`
+			Sharing       SharingStats               `json:"sharing"`
 			Trace         TraceStats                 `json:"trace"`
 		}{Version, runtime.Version(), time.Since(d.started).Seconds(),
 			d.gw.Draining(), d.gw.Stats(), warm, d.gw.Forecasts(),
 			d.gw.ResilienceCounters(), d.gw.WarmAges(time.Now()),
 			d.gw.AdmissionStats(), d.gw.WarmMemory(), d.gw.ColdPathStats(),
-			d.gw.TraceStats()})
+			d.gw.SharingStats(), d.gw.TraceStats()})
 	})
 	mux.HandleFunc("/system/drain", func(w http.ResponseWriter, r *http.Request) {
 		// POST drains (stop accepting placements, finish in-flight),

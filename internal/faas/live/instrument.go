@@ -63,6 +63,13 @@ type instruments struct {
 	coldReaped      *obs.Counter      // hotc_coldpath_generic_reaped_total
 	coldSkippedMB   *obs.Counter      // hotc_coldpath_pull_skipped_mb_total
 
+	// Sharing families (hotc_share_*): inter-function lease outcomes,
+	// the lender/renter population, and the rented-boot phase split.
+	shareLeases  *obs.CounterVec   // hotc_share_leases_total{outcome}
+	shareLenders *obs.Gauge        // hotc_share_lenders
+	shareRenters *obs.Gauge        // hotc_share_renters
+	sharePhase   *obs.HistogramVec // hotc_share_boot_phase_ms{phase}
+
 	// startsWarm/startsCold are the two children of starts, resolved
 	// once so the request path pays a single atomic add; the coldBoots
 	// and coldPhase children likewise.
@@ -70,9 +77,17 @@ type instruments struct {
 	startsCold       *obs.Counter
 	coldBootsGeneric *obs.Counter
 	coldBootsFull    *obs.Counter
+	coldBootsRented  *obs.Counter
 	coldPhasePull    *obs.Histogram
 	coldPhaseRuntime *obs.Histogram
 	coldPhaseApp     *obs.Histogram
+
+	shareLeaseGranted     *obs.Counter
+	shareLeaseNoCandidate *obs.Counter
+	shareLeaseDenied      *obs.Counter
+	sharePhaseWipe        *obs.Histogram
+	sharePhasePull        *obs.Histogram
+	sharePhaseApp         *obs.Histogram
 }
 
 // shardMetrics is one function's pre-resolved series handles: every
@@ -201,6 +216,16 @@ func (g *Gateway) Instrument(reg *obs.Registry) {
 			"Generic pre-forked watchdogs stopped by memory-budget pressure."),
 		coldSkippedMB: reg.Counter("hotc_coldpath_pull_skipped_mb_total",
 			"Image megabytes not pulled thanks to layer-cache hits."),
+		shareLeases: reg.CounterVec("hotc_share_leases_total",
+			"Inter-function lease attempts by outcome (granted|no_candidate|denied_policy).",
+			"outcome"),
+		shareLenders: reg.Gauge("hotc_share_lenders",
+			"Functions currently classified as lenders (persistently over-forecasted or idle-heavy)."),
+		shareRenters: reg.Gauge("hotc_share_renters",
+			"Functions currently classified as renters (persistently under-forecasted)."),
+		sharePhase: reg.HistogramVec("hotc_share_boot_phase_ms",
+			"Rented-boot phase delays actually paid, in milliseconds, by phase (wipe|pull|app_init); a zero pull is a same-image lease.",
+			obs.DefaultLatencyBucketsMS(), "phase"),
 	}
 	traceKept := reg.CounterVec("hotc_trace_kept_total",
 		"Spans retained by the tail sampler, by keep reason (error|shed|cold|slow|sampled).",
@@ -217,9 +242,16 @@ func (g *Gateway) Instrument(reg *obs.Registry) {
 	ins.startsCold = ins.starts.With("cold")
 	ins.coldBootsGeneric = ins.coldBoots.With("generic")
 	ins.coldBootsFull = ins.coldBoots.With("cold")
+	ins.coldBootsRented = ins.coldBoots.With("rented")
 	ins.coldPhasePull = ins.coldPhase.With("pull")
 	ins.coldPhaseRuntime = ins.coldPhase.With("runtime_init")
 	ins.coldPhaseApp = ins.coldPhase.With("app_init")
+	ins.shareLeaseGranted = ins.shareLeases.With("granted")
+	ins.shareLeaseNoCandidate = ins.shareLeases.With("no_candidate")
+	ins.shareLeaseDenied = ins.shareLeases.With("denied_policy")
+	ins.sharePhaseWipe = ins.sharePhase.With("wipe")
+	ins.sharePhasePull = ins.sharePhase.With("pull")
+	ins.sharePhaseApp = ins.sharePhase.With("app_init")
 	g.obs.Store(ins)
 	// Seed the generic-idle gauge: the pool may have filled before
 	// Instrument armed the OnIdle hook's sink.

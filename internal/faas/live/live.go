@@ -52,6 +52,7 @@ import (
 	"hotc/internal/faas"
 	"hotc/internal/obs"
 	"hotc/internal/prefork"
+	"hotc/internal/sharing"
 )
 
 // Handler is the buffered function body: bytes in, bytes out. The
@@ -92,6 +93,15 @@ type Function struct {
 	// pull/unpack, generic runtime init (pre-paid by a pre-forked
 	// generic), and function/app init (always paid).
 	Pull, RuntimeInit, AppInit time.Duration
+
+	// MemoryMB is the function's declared memory class for the sharing
+	// policy (0 = unconstrained): a renter must fit inside its lender's
+	// class.
+	MemoryMB int
+	// NoShare opts the function out of inter-function sharing on both
+	// sides: it never lends its idle instances and never rents. The
+	// zero value keeps sharing on, so existing deploys participate.
+	NoShare bool
 }
 
 // instance is one live watchdog bound to a loopback port, running the
@@ -106,6 +116,12 @@ type instance struct {
 	// idleSince is when the instance last returned to the warm pool
 	// (set under the shard lock; read by the janitor).
 	idleSince time.Time
+	// tainted marks an instance claimed by an inter-function lease:
+	// from the moment it is set the instance must never be lent again
+	// or re-enter any idle list under its former function. The lease
+	// path abandons the tainted struct after the wipe and hands the
+	// renter a fresh one around the same watchdog.
+	tainted atomic.Bool
 }
 
 // watchdogHandler builds the watchdog-side request handler for fn —
@@ -241,6 +257,10 @@ type Stats struct {
 	// specializing a pre-forked generic watchdog instead of a full
 	// boot (these requests still report X-Hotc-Reused: false).
 	GenericHandoffs int
+	// RentedBoots counts the subset of ColdStarts served by leasing an
+	// idle instance from another function (X-Hotc-Boot: rented; these
+	// requests also report X-Hotc-Reused: false).
+	RentedBoots int
 	// Prewarmed counts instances the controller booted ahead of demand.
 	Prewarmed int
 	// Retired counts instances stopped by controller scale-down or the
@@ -259,6 +279,7 @@ func (s *Stats) add(o Stats) {
 	s.ColdStarts += o.ColdStarts
 	s.Reused += o.Reused
 	s.GenericHandoffs += o.GenericHandoffs
+	s.RentedBoots += o.RentedBoots
 	s.Prewarmed += o.Prewarmed
 	s.Retired += o.Retired
 	s.Expired += o.Expired
@@ -373,6 +394,12 @@ type Gateway struct {
 	// atomics.
 	cold coldPath
 
+	// share is the inter-function sharing state (see EnableSharing):
+	// policy, lease costs, classifier tuning and outcome counters.
+	// Config fields are written before Start and read-only afterwards;
+	// counters are atomics.
+	share shareState
+
 	// obs is the optional metric hookup (see Instrument), read
 	// lock-free on the request path.
 	obs atomic.Pointer[instruments]
@@ -452,6 +479,9 @@ func (g *Gateway) newShardLocked(name string) *shard {
 	s := &shard{name: name}
 	if g.ctl.NewPredictor != nil {
 		s.ctl.pred = g.ctl.NewPredictor()
+	}
+	if g.share.enabled {
+		s.ctl.share = *sharing.NewClassifier(g.share.clsCfg)
 	}
 	if ins := g.obs.Load(); ins != nil {
 		s.m.Store(ins.forFunction(name))
@@ -632,6 +662,20 @@ func (g *Gateway) acquire(s *shard) (*instance, bootInfo, error) {
 	s.stats.ColdStarts++
 	s.stats.Requests++
 	s.mu.Unlock()
+
+	// Sharing tier: before paying any boot, try renting an idle
+	// instance from another function (wipe + re-specialize + app
+	// init) — strictly cheaper than a generic handoff when the
+	// runtimes match, because the runtime AND pull shares are already
+	// in place.
+	if g.share.enabled {
+		if inst, info, ok := g.leaseInstance(s, fn); ok {
+			s.mu.Lock()
+			s.stats.RentedBoots++
+			s.mu.Unlock()
+			return inst, info, nil
+		}
+	}
 
 	inst, info, err := g.bootInstance(fn) // cold boot outside the lock
 	if err != nil {
@@ -818,6 +862,8 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 	// Annotate how the cold path was paid — generic handoff vs a full
 	// boot. Warm reuse stays out: the hot path adds no span events.
 	switch boot.mode {
+	case bootRented:
+		g.traceEvent(&rt, "boot", "rented-zygote")
 	case bootGeneric:
 		g.traceEvent(&rt, "boot", "generic-handoff")
 	case bootCold:

@@ -25,6 +25,7 @@ type instruments struct {
 	prewarmed   *obs.Counter    // hotc_pool_prewarmed_total
 	retired     *obs.Counter    // hotc_pool_retired_total
 	quarantined *obs.Counter    // hotc_pool_quarantined_total
+	leases      *obs.Counter    // hotc_pool_leases_total
 	live        *obs.GaugeVec   // hotc_pool_live{key}
 	avail       *obs.GaugeVec   // hotc_pool_available{key}
 
@@ -77,6 +78,8 @@ func (p *Pool) Instrument(reg *obs.Registry) {
 			"Containers stopped by scale-down or keep-alive expiry."),
 		quarantined: reg.Counter("hotc_pool_quarantined_total",
 			"Containers removed after failing a health check or corrupting an execution."),
+		leases: reg.Counter("hotc_pool_leases_total",
+			"Containers rented from another runtime key and repurposed in place of a cold start."),
 		live: reg.GaugeVec("hotc_pool_live",
 			"Live pool containers (available or busy) per runtime key.",
 			"key"),

@@ -37,6 +37,20 @@ type Options struct {
 	MemThresholdPct float64
 	// EnableRelaxed turns on the §VII fuzzy-key reuse extension.
 	EnableRelaxed bool
+	// EnableSharing turns on Pagurus-style inter-function sharing: when
+	// both exact and relaxed matching miss, Acquire leases the oldest
+	// idle container of a *different* runtime key, re-keys it for the
+	// requested spec (volume wipe + image-layer delta, no engine /
+	// network / watchdog setup), and hands it out. Strictly cheaper than
+	// a cold start whenever the image delta is small.
+	EnableSharing bool
+	// ShareIdleGrace excludes containers from lending until they have
+	// sat idle this long. A container reused every keep-alive round is
+	// part of its function's working set — renting it converts the
+	// owner's next warm hit into a full cold start plus re-init, which
+	// costs more than the lease saves. Zero disables the gate (any
+	// available container qualifies).
+	ShareIdleGrace time.Duration
 	// Eviction selects the forced-eviction victim order (default
 	// EvictOldest, the paper's choice).
 	Eviction EvictionPolicy
@@ -98,6 +112,9 @@ type Stats struct {
 	// Quarantined counts containers removed because they failed a
 	// health check or were reported corrupted after an execution.
 	Quarantined int
+	// Leases counts containers rented from another runtime key and
+	// repurposed instead of a cold start (inter-function sharing).
+	Leases int
 }
 
 // Pool is the live container runtime pool. Like the engine it is
@@ -229,10 +246,23 @@ func (p *Pool) Acquire(spec container.Spec, done func(c *container.Container, re
 		}
 	}
 
-	// Cold path: enforce caps, then start a new container.
+	// Cold path: before paying for a new container, try renting an
+	// idle one from another runtime key (inter-function sharing).
 	p.stats.Misses++
 	if p.obs != nil {
 		p.obs.misses.Inc()
+	}
+	if p.opts.EnableSharing {
+		if c := p.shareCandidate(spec); c != nil {
+			p.Lease(c, spec, func(err error) {
+				if err != nil {
+					done(nil, false, config.Delta{}, err)
+					return
+				}
+				done(c, false, config.Delta{}, nil)
+			})
+			return
+		}
 	}
 	p.makeRoom()
 	p.eng.Create(spec, func(c *container.Container, err error) {
@@ -247,6 +277,90 @@ func (p *Pool) Acquire(spec container.Spec, done func(c *container.Container, re
 		}
 		p.syncKeyGauges(key)
 		done(c, false, config.Delta{}, nil)
+	})
+}
+
+// shareCandidate picks the lender for an inter-function lease: the
+// least-recently-used available container whose runtime key differs
+// from the requested spec's. Staleness mirrors keep-alive's eviction
+// order — the container most likely to expire unused is rented first,
+// and a busy function's freshly-released containers are left alone.
+// The (LastUsedAt, CreatedAt, ID) order is total, so the choice is
+// deterministic under Go's randomized map iteration. Containers idle
+// for less than ShareIdleGrace are never offered. Candidates are
+// health-checked like any other hand-out.
+func (p *Pool) shareCandidate(spec container.Spec) *container.Container {
+	key := spec.Key()
+	now := p.eng.Scheduler().Now()
+	var best *container.Container
+	better := func(c, b *container.Container) bool {
+		if b == nil {
+			return true
+		}
+		if c.LastUsedAt != b.LastUsedAt {
+			return c.LastUsedAt < b.LastUsedAt
+		}
+		if c.CreatedAt != b.CreatedAt {
+			return c.CreatedAt < b.CreatedAt
+		}
+		return c.ID < b.ID
+	}
+	for k, list := range p.byKey {
+		if k == key {
+			continue
+		}
+		for _, c := range list {
+			if c.State() != container.Available {
+				continue
+			}
+			if now-c.LastUsedAt < p.opts.ShareIdleGrace {
+				continue // still in its owner's working set
+			}
+			if better(c, best) {
+				best = c
+			}
+		}
+	}
+	if best != nil && p.opts.HealthCheck != nil {
+		if err := p.opts.HealthCheck(best); err != nil {
+			p.Quarantine(best)
+			return p.shareCandidate(spec)
+		}
+	}
+	return best
+}
+
+// Lease re-keys an idle container of another runtime key as a zygote
+// for spec and reserves it for the caller. The container leaves the
+// pool indexes *before* any simulated time passes, so an Acquire
+// arriving mid-lease — exact or relaxed — can never be handed the
+// container under its former key. On success the container has been
+// re-admitted under its new key and reserved; on failure it is
+// returned to the pool untouched.
+func (p *Pool) Lease(c *container.Container, spec container.Spec, done func(error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	oldKey := c.Key()
+	p.remove(c)
+	p.eng.Repurpose(c, spec, func(err error) {
+		if err != nil {
+			p.admit(c) // spec unchanged on failure: back under the old key
+			done(fmt.Errorf("pool: leasing %s from %s: %w", c.ID, oldKey, err))
+			return
+		}
+		p.admit(c)
+		if rerr := p.eng.Reserve(c); rerr != nil {
+			done(fmt.Errorf("pool: reserving leased container: %w", rerr))
+			return
+		}
+		p.stats.Leases++
+		if p.obs != nil {
+			p.obs.leases.Inc()
+		}
+		p.syncKeyGauges(oldKey)
+		p.syncKeyGauges(spec.Key())
+		done(nil)
 	})
 }
 

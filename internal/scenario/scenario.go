@@ -57,6 +57,15 @@ type Spec struct {
 	// Resilience, when present, arms the gateway's retry / circuit
 	// breaker / fallback machinery. Single-host runs only.
 	Resilience *ResilienceSpec `json:"resilience,omitempty"`
+	// Sharing turns on inter-function container sharing: on a pool
+	// miss an idle container of another function is re-keyed as a
+	// zygote instead of paying a full cold start.
+	Sharing bool `json:"sharing,omitempty"`
+	// SharingIdleGraceSec keeps containers off the lending market until
+	// they have been idle this many virtual seconds, so renters take
+	// only genuine surplus instead of a busy function's working set.
+	// Zero means any available container may be lent.
+	SharingIdleGraceSec float64 `json:"sharingIdleGraceSec,omitempty"`
 }
 
 // ResilienceSpec is the JSON shape of hotc.ResilienceConfig.
@@ -232,6 +241,12 @@ func (s *Spec) validate() error {
 			return fmt.Errorf("scenario: %w", err)
 		}
 	}
+	if s.SharingIdleGraceSec < 0 {
+		return fmt.Errorf("scenario: sharingIdleGraceSec must be >= 0")
+	}
+	if s.SharingIdleGraceSec > 0 && !s.Sharing {
+		return fmt.Errorf("scenario: sharingIdleGraceSec requires \"sharing\": true")
+	}
 	return nil
 }
 
@@ -368,6 +383,8 @@ func (s *Spec) Run() (*Outcome, error) {
 		ControlInterval: time.Duration(s.ControlIntervalSec * float64(time.Second)),
 		LocalImages:     true,
 		Faults:          s.Faults,
+		EnableSharing:   s.Sharing,
+		ShareIdleGrace:  time.Duration(s.SharingIdleGraceSec * float64(time.Second)),
 	}
 	if s.Resilience != nil {
 		rc := s.Resilience.config()

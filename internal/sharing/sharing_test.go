@@ -1,0 +1,142 @@
+package sharing
+
+import "testing"
+
+func TestClassifierNeutralUntilMinTicks(t *testing.T) {
+	c := NewClassifier(ClassifierConfig{MinTicks: 3})
+	if got := c.Observe(10, 0, 10); got != RoleNeutral {
+		t.Fatalf("tick 1: got %v, want neutral", got)
+	}
+	if got := c.Observe(10, 0, 10); got != RoleNeutral {
+		t.Fatalf("tick 2: got %v, want neutral", got)
+	}
+	if got := c.Observe(10, 0, 10); got != RoleLender {
+		t.Fatalf("tick 3: got %v, want lender", got)
+	}
+}
+
+func TestClassifierOverForecastBecomesLender(t *testing.T) {
+	c := NewClassifier(ClassifierConfig{})
+	for i := 0; i < 6; i++ {
+		c.Observe(8, 2, 0)
+	}
+	if c.Role() != RoleLender {
+		t.Fatalf("persistently over-forecasted: role %v, want lender (errEWMA %.2f)", c.Role(), c.ForecastError())
+	}
+	if c.ForecastError() <= 0 {
+		t.Fatalf("forecast error %.2f, want positive", c.ForecastError())
+	}
+}
+
+func TestClassifierUnderForecastBecomesRenter(t *testing.T) {
+	c := NewClassifier(ClassifierConfig{})
+	for i := 0; i < 6; i++ {
+		c.Observe(1, 5, 0)
+	}
+	if c.Role() != RoleRenter {
+		t.Fatalf("persistently under-forecasted: role %v, want renter (errEWMA %.2f)", c.Role(), c.ForecastError())
+	}
+}
+
+func TestClassifierIdleSurplusBecomesLender(t *testing.T) {
+	// Forecast tracks demand exactly (no forecast error), but headroom
+	// keeps a persistent idle surplus — still a lender.
+	c := NewClassifier(ClassifierConfig{})
+	for i := 0; i < 6; i++ {
+		c.Observe(2, 2, 5)
+	}
+	if c.Role() != RoleLender {
+		t.Fatalf("persistent idle surplus: role %v, want lender", c.Role())
+	}
+}
+
+func TestClassifierAccurateForecastStaysNeutral(t *testing.T) {
+	c := NewClassifier(ClassifierConfig{})
+	for i := 0; i < 10; i++ {
+		c.Observe(3, 3, 2) // surplus −1: below the lend threshold
+	}
+	if c.Role() != RoleNeutral {
+		t.Fatalf("accurate forecast: role %v, want neutral", c.Role())
+	}
+}
+
+func TestClassifierRecoversFromRole(t *testing.T) {
+	c := NewClassifier(ClassifierConfig{Alpha: 0.5})
+	for i := 0; i < 6; i++ {
+		c.Observe(8, 2, 0)
+	}
+	if c.Role() != RoleLender {
+		t.Fatalf("setup: role %v, want lender", c.Role())
+	}
+	// Demand catches up with the forecast: the role decays back.
+	for i := 0; i < 10; i++ {
+		c.Observe(4, 4, 0)
+	}
+	if c.Role() != RoleNeutral {
+		t.Fatalf("after demand catch-up: role %v, want neutral (errEWMA %.2f)", c.Role(), c.ForecastError())
+	}
+}
+
+func TestZeroValueClassifierUsable(t *testing.T) {
+	var c Classifier
+	for i := 0; i < 6; i++ {
+		c.Observe(9, 1, 0)
+	}
+	if c.Role() != RoleLender {
+		t.Fatalf("zero-value classifier: role %v, want lender", c.Role())
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want PolicyMode
+		ok   bool
+	}{
+		{"", ModeSameImage, true},
+		{"same-image", ModeSameImage, true},
+		{"any", ModeAny, true},
+		{"yes-please", ModeSameImage, false},
+	} {
+		got, err := ParseMode(tc.in)
+		if (err == nil) != tc.ok {
+			t.Fatalf("ParseMode(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if tc.ok && got != tc.want {
+			t.Fatalf("ParseMode(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPolicyCompatible(t *testing.T) {
+	same := Policy{Mode: ModeSameImage}
+	any := Policy{Mode: ModeAny}
+	py := func(mem int, share bool) Candidate {
+		return Candidate{Image: "python:3.8", MemoryMB: mem, Shareable: share}
+	}
+	node := Candidate{Image: "node:10", Shareable: true}
+
+	for _, tc := range []struct {
+		name           string
+		p              Policy
+		renter, lender Candidate
+		ok             bool
+		reason         string
+	}{
+		{"same image", same, py(0, true), py(0, true), true, ""},
+		{"image mismatch", same, py(0, true), node, false, DenyImage},
+		{"any bridges images", any, py(0, true), node, true, ""},
+		{"empty images match", same, Candidate{Shareable: true}, Candidate{Shareable: true}, true, ""},
+		{"renter opted out", same, py(0, false), py(0, true), false, DenyOptOut},
+		{"lender opted out", same, py(0, true), py(0, false), false, DenyOptOut},
+		{"renter fits lender memory", same, py(256, true), py(512, true), true, ""},
+		{"renter exceeds lender memory", same, py(1024, true), py(512, true), false, DenyMemory},
+		{"unsized renter on sized lender", same, py(0, true), py(512, true), false, DenyMemory},
+		{"unconstrained lender hosts anyone", same, py(4096, true), py(0, true), true, ""},
+	} {
+		ok, reason := tc.p.Compatible(tc.renter, tc.lender)
+		if ok != tc.ok || reason != tc.reason {
+			t.Errorf("%s: Compatible = (%v, %q), want (%v, %q)", tc.name, ok, reason, tc.ok, tc.reason)
+		}
+	}
+}

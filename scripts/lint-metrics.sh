@@ -30,7 +30,9 @@ for fam in hotc_trace_kept_total hotc_trace_sampled_out_total \
            hotc_coldpath_boots_total hotc_coldpath_phase_ms \
            hotc_coldpath_generic_idle hotc_coldpath_refills_total \
            hotc_coldpath_generic_reaped_total \
-           hotc_coldpath_pull_skipped_mb_total; do
+           hotc_coldpath_pull_skipped_mb_total \
+           hotc_share_leases_total hotc_share_lenders \
+           hotc_share_renters hotc_share_boot_phase_ms; do
     if ! grep -rq --include='*.go' --exclude='*_test.go' "\"$fam\"" cmd internal; then
         echo "lint-metrics: required metric family $fam is not registered anywhere" >&2
         exit 1

@@ -113,6 +113,57 @@ echo "   generic handoff: ${FIRST_MS}ms (full cold is 400ms)"
 kill "$HOTCD_PID" 2>/dev/null || true
 wait "$HOTCD_PID" 2>/dev/null || true
 HOTCD_PID=""
+echo "== sharing smoke (second function's first request rents the first's idle instance)"
+# Boot a daemon with inter-function sharing armed and a short idle
+# grace, deploy two 400ms functions, warm the first, wait past the
+# grace, then time the second function's very first request: it must
+# answer X-Hotc-Boot: rented and complete well under the 400ms full
+# cold — only wipe + app init is paid.
+"$LOADTMP/hotcd" -addr 127.0.0.1:0 -share -share-idle-grace 100ms -preload=false \
+	>"$LOADTMP/share.log" 2>&1 &
+HOTCD_PID=$!
+BASE=""
+i=0
+while [ $i -lt 50 ]; do
+	BASE="$(sed -n 's/^hotcd listening on //p' "$LOADTMP/share.log" | head -n 1)"
+	[ -n "$BASE" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$BASE" ]; then
+	echo "verify: sharing hotcd did not come up" >&2
+	cat "$LOADTMP/share.log" >&2
+	exit 1
+fi
+curl -sf -X POST "$BASE/system/functions" \
+	-d '{"name":"lender","handler":"upper","coldStartMs":400}' >/dev/null
+curl -sf -X POST "$BASE/system/functions" \
+	-d '{"name":"renter","handler":"upper","coldStartMs":400}' >/dev/null
+curl -sf -X POST "$BASE/function/lender" -d 'warmup' >/dev/null
+sleep 0.3 # let the lender's instance age past the 100ms idle grace
+T0=$(date +%s%N)
+curl -sf -D "$LOADTMP/share-headers" -o /dev/null \
+	-X POST "$BASE/function/renter" -d 'smoke'
+T1=$(date +%s%N)
+RENT_MS=$(((T1 - T0) / 1000000))
+grep -qi '^x-hotc-boot: rented' "$LOADTMP/share-headers" || {
+	echo "verify: renter's first request did not rent the lender's idle instance" >&2
+	cat "$LOADTMP/share-headers" >&2
+	exit 1
+}
+if [ "$RENT_MS" -ge 300 ]; then
+	echo "verify: rented boot took ${RENT_MS}ms, want well under the 400ms full cold" >&2
+	exit 1
+fi
+curl -sf "$BASE/system/stats" | grep -q '"leasesGranted": *1' || {
+	echo "verify: /system/stats sharing block does not report the lease" >&2
+	curl -sf "$BASE/system/stats" >&2 || true
+	exit 1
+}
+echo "   rented boot: ${RENT_MS}ms (full cold is 400ms)"
+kill "$HOTCD_PID" 2>/dev/null || true
+wait "$HOTCD_PID" 2>/dev/null || true
+HOTCD_PID=""
 echo "== router smoke (hotc-router + 2 hotcd: routed request round-trips with trace headers)"
 # Boot a two-node cluster behind the router and drive one traced
 # request through it: the response must come back 200 with the
